@@ -1,0 +1,106 @@
+// Command apptracker runs a P4P-integrated application tracker: it
+// discovers an iTracker portal, keeps the p-distance view fresh, and
+// answers peer-selection requests over HTTP using the three-stage
+// selection of Section 6.2.
+//
+//	POST /select  {"self": {...}, "candidates": [...], "m": 20}
+//
+// returns the chosen candidate indices.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"p4p/internal/apptracker"
+	"p4p/internal/portal"
+)
+
+type selectRequest struct {
+	Self       apptracker.Node   `json:"self"`
+	Candidates []apptracker.Node `json:"candidates"`
+	M          int               `json:"m"`
+}
+
+type selectResponse struct {
+	Indices []int  `json:"indices"`
+	Policy  string `json:"policy"`
+}
+
+// portalViews adapts a portal client to the selector's ViewProvider,
+// caching the fetched view for a TTL.
+type portalViews struct {
+	client *portal.Client
+	ttl    time.Duration
+
+	mu      sync.Mutex
+	view    apptracker.DistanceView
+	fetched time.Time
+}
+
+func (p *portalViews) ViewFor(asn int) apptracker.DistanceView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.view != nil && time.Since(p.fetched) < p.ttl {
+		return p.view
+	}
+	v, err := p.client.Distances()
+	if err != nil {
+		log.Printf("portal query failed (serving stale/nil view): %v", err)
+		return p.view
+	}
+	p.view = v
+	p.fetched = time.Now()
+	return v
+}
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8081", "HTTP listen address")
+		itrURL   = flag.String("itracker", "http://localhost:8080", "iTracker portal base URL")
+		token    = flag.String("token", "", "trust token for the portal")
+		ttl      = flag.Duration("view-ttl", 30*time.Second, "p-distance view cache TTL")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "selection RNG seed")
+		mDefault = flag.Int("m", 20, "default peer count per request")
+	)
+	flag.Parse()
+
+	views := &portalViews{client: portal.NewClient(*itrURL, *token), ttl: *ttl}
+	sel := &apptracker.P4P{Views: views}
+	rng := rand.New(rand.NewSource(*seed))
+	var rngMu sync.Mutex
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) {
+		var req selectRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.M <= 0 {
+			req.M = *mDefault
+		}
+		rngMu.Lock()
+		idx := sel.Select(req.Self, req.Candidates, req.M, rng)
+		rngMu.Unlock()
+		if idx == nil {
+			idx = []int{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(selectResponse{Indices: idx, Policy: sel.Name()}); err != nil {
+			log.Printf("encode response: %v", err)
+		}
+	})
+
+	log.Printf("appTracker listening on %s, portal %s", *listen, *itrURL)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		log.Fatal(err)
+		os.Exit(1)
+	}
+}

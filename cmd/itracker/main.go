@@ -1,0 +1,107 @@
+// Command itracker serves a P4P provider portal over HTTP: the policy,
+// p4p-distance, capability and PID-lookup interfaces of the paper's
+// Section 3, backed by the dual-decomposition p-distance engine.
+//
+// Example:
+//
+//	itracker -topology abilene -listen :8080 -objective mlu
+//
+// then query it:
+//
+//	curl localhost:8080/p4p/v1/distances
+//	curl "localhost:8080/p4p/v1/pid?ip=10.3.0.7"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/portal"
+	"p4p/internal/topology"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		topoName  = flag.String("topology", "abilene", "topology: abilene, isp-a, isp-b, isp-c")
+		objective = flag.String("objective", "mlu", "ISP objective: mlu or bdp")
+		step      = flag.Float64("step", 0.1, "super-gradient step size")
+		perturb   = flag.Float64("perturb", 0, "privacy perturbation fraction (e.g. 0.05)")
+		tokens    = flag.String("tokens", "", "comma-separated trusted appTracker tokens (empty = open)")
+		update    = flag.Duration("update", 0, "if set, run an idle price update every interval")
+	)
+	flag.Parse()
+
+	g, err := topologyByName(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := topology.ComputeRouting(g)
+	cfg := core.Config{StepSize: *step, PerturbFrac: *perturb}
+	switch *objective {
+	case "mlu":
+		cfg.Objective = core.MinimizeMLU
+	case "bdp":
+		cfg.Objective = core.MinimizeBDP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown objective %q\n", *objective)
+		os.Exit(2)
+	}
+	engine := core.NewEngine(g, r, cfg)
+
+	var trusted []string
+	if *tokens != "" {
+		trusted = strings.Split(*tokens, ",")
+	}
+	tr := itracker.New(itracker.Config{
+		Name:          g.Name,
+		ASN:           g.Node(0).ASN,
+		TrustedTokens: trusted,
+		Policy: itracker.Policy{
+			NearCongestionUtil: 0.7,
+			HeavyUsageUtil:     0.9,
+		},
+	}, engine, itracker.SyntheticPIDMap(g))
+
+	if *update > 0 {
+		go func() {
+			zero := make([]float64, g.NumLinks())
+			for range time.Tick(*update) {
+				tr.ObserveAndUpdate(zero)
+			}
+		}()
+	}
+
+	h := portal.NewHandler(tr)
+	h.Log = log.New(os.Stderr, "itracker ", log.LstdFlags)
+	log.Printf("iTracker for %s (%d PIDs, %d links) listening on %s",
+		g.Name, g.NumNodes(), g.NumLinks(), *listen)
+	if err := http.ListenAndServe(*listen, h); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func topologyByName(name string) (*topology.Graph, error) {
+	switch strings.ToLower(name) {
+	case "abilene":
+		return topology.Abilene(), nil
+	case "abilene-virtual":
+		return topology.AbileneVirtualISPs(), nil
+	case "isp-a", "ispa":
+		return topology.ISPA(), nil
+	case "isp-b", "ispb":
+		return topology.ISPB(), nil
+	case "isp-c", "ispc":
+		return topology.ISPC(), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want abilene, abilene-virtual, isp-a, isp-b, isp-c)", name)
+	}
+}

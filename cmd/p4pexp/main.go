@@ -1,0 +1,88 @@
+// Command p4pexp regenerates the paper's tables and figures. Each
+// experiment prints the rows or series the paper reports; see DESIGN.md
+// for the experiment index and EXPERIMENTS.md for paper-vs-measured.
+//
+//	p4pexp -list
+//	p4pexp -run F6,F10 -scale 0.5
+//	p4pexp -run all -scale 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"p4p/internal/experiments"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	fn   func(experiments.Options) *experiments.Report
+}
+
+var all = []experiment{
+	{"T1", "Table 1: networks evaluated", experiments.Table1Networks},
+	{"F6", "Figure 6: BitTorrent Internet experiments", experiments.Figure6BitTorrentInternet},
+	{"F7", "Figure 7: swarm-size sweep on Abilene", experiments.Figure7SwarmSize},
+	{"F8", "Figure 8: swarm-size sweep on ISP-A", experiments.Figure8ISPA},
+	{"F9", "Figure 9: Liveswarms streaming", experiments.Figure9Liveswarms},
+	{"F10", "Figure 10: interdomain multihoming", experiments.Figure10Interdomain},
+	{"F11", "Figure 11: field-test swarm sizes", experiments.Figure11SwarmStats},
+	{"T2", "Table 2: field-test overall traffic", experiments.Table2FieldTestTraffic},
+	{"T3", "Table 3: field-test internal traffic", experiments.Table3FieldTestInternal},
+	{"F12a", "Figure 12a: unit BDP", experiments.Figure12aUnitBDP},
+	{"F12b", "Figure 12b: completion times, all ISP-B", experiments.Figure12bCompletion},
+	{"F12c", "Figure 12c: completion times, FTTP", experiments.Figure12cFTTP},
+	{"X1", "Metro-hop reduction claim", experiments.MetroHopsClaim},
+	{"X2", "Dual decomposition convergence", experiments.SuperGradientConvergence},
+	{"X3", "Charging-volume prediction", experiments.ChargingPrediction},
+	{"X4", "Swarm-size tail", experiments.SwarmTailClaim},
+	{"A1", "Ablation: efficiency factor beta", experiments.AblationBeta},
+	{"A2", "Ablation: concave robustness transform", experiments.AblationConcave},
+	{"A3", "Ablation: PID aggregation granularity", experiments.AblationAggregation},
+}
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-5s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	runAll := *run == "all"
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToUpper(id))] = true
+	}
+	opt := experiments.Options{Scale: *scale, Seed: *seed}
+	ran := 0
+	for _, e := range all {
+		if !runAll && !want[strings.ToUpper(e.id)] {
+			continue
+		}
+		start := time.Now()
+		rep := e.fn(opt)
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q; use -list\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,129 @@
+// Command p4psim runs a single BitTorrent swarm simulation under a
+// chosen peer-selection policy and prints the headline metrics — a
+// workbench for one-off what-if runs outside the fixed experiments.
+//
+//	p4psim -topology abilene -policy p4p -clients 200 -file-mb 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"p4p/internal/apptracker"
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/p2psim"
+	"p4p/internal/topology"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topology", "abilene", "abilene, abilene-virtual, isp-a, isp-b, isp-c")
+		policy   = flag.String("policy", "p4p", "native, localized, or p4p")
+		clients  = flag.Int("clients", 200, "number of leecher clients")
+		fileMB   = flag.Int64("file-mb", 12, "file size in MiB")
+		upMbps   = flag.Float64("up", 100, "client upload capacity, Mbps")
+		downMbps = flag.Float64("down", 100, "client download capacity, Mbps")
+		seedMbps = flag.Float64("seed-up", 1000, "initial seed upload, Mbps")
+		seed     = flag.Int64("seed", 42, "random seed")
+		joinSec  = flag.Float64("join-window", 300, "join window, seconds")
+	)
+	flag.Parse()
+
+	g, err := topologyByName(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := topology.ComputeRouting(g)
+
+	cfg := p2psim.Config{
+		Graph:            g,
+		Routing:          r,
+		Seed:             *seed,
+		FileBytes:        *fileMB << 20,
+		TCPWindowBytes:   32 << 10,
+		ReselectInterval: 20,
+		SampleInterval:   2,
+	}
+	switch *policy {
+	case "native":
+		cfg.Selector = apptracker.Random{}
+	case "localized":
+		cfg.Selector = &apptracker.Localized{Delay: func(a, b apptracker.Node) float64 {
+			return r.PropagationDelaySeconds(a.PID, b.PID)
+		}}
+	case "p4p":
+		engine := core.NewEngine(g, r, core.Config{Objective: core.MinimizeMLU, StepSize: 0.3})
+		tr := itracker.New(itracker.Config{Name: g.Name, ASN: g.Node(0).ASN}, engine, nil)
+		cfg.Selector = &apptracker.P4P{Views: trackerViews{tr}}
+		cfg.MeasureInterval = 10
+		cfg.OnMeasure = func(now float64, rates []float64) { tr.ObserveAndUpdate(rates) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	sim := p2psim.New(cfg)
+	pids := g.AggregationPIDs()
+	sim.AddClient(p2psim.ClientSpec{
+		PID: pids[0], ASN: g.Node(pids[0]).ASN,
+		UpBps: *seedMbps * 1e6, DownBps: *seedMbps * 1e6, IsSeed: true,
+	})
+	rng := rand.New(rand.NewSource(*seed + 1))
+	for i := 0; i < *clients; i++ {
+		pid := pids[rng.Intn(len(pids))]
+		sim.AddClient(p2psim.ClientSpec{
+			PID: pid, ASN: g.Node(pid).ASN,
+			UpBps: *upMbps * 1e6, DownBps: *downMbps * 1e6,
+			JoinAt: *joinSec * float64(i) / float64(*clients),
+		})
+	}
+	res := sim.Run()
+
+	fmt.Printf("topology          %s (%d PIDs, %d links)\n", g.Name, g.NumNodes(), g.NumLinks())
+	fmt.Printf("policy            %s\n", cfg.Selector.Name())
+	fmt.Printf("clients           %d + 1 seed, %d MiB file\n", *clients, *fileMB)
+	fmt.Printf("completed         %d\n", len(res.CompletionTimes()))
+	fmt.Printf("mean completion   %.1f s\n", res.MeanCompletionTime())
+	fmt.Printf("swarm completion  %.1f s\n", res.SwarmCompletionTime())
+	link, bytes := res.BottleneckTraffic()
+	if link >= 0 {
+		l := g.Link(link)
+		fmt.Printf("bottleneck        %s -> %s: %.1f MB\n",
+			g.Node(l.Src).Name, g.Node(l.Dst).Name, bytes/(1<<20))
+	}
+	fmt.Printf("peak utilization  %.2f%%\n", res.PeakUtilization()*100)
+	fmt.Printf("unit BDP          %.2f backbone links/byte\n", res.UnitBDP)
+	fmt.Printf("intra-PID share   %.1f%%\n", 100*res.IntraPIDBytes()/res.TotalBytes)
+}
+
+func topologyByName(name string) (*topology.Graph, error) {
+	switch strings.ToLower(name) {
+	case "abilene":
+		return topology.Abilene(), nil
+	case "abilene-virtual":
+		return topology.AbileneVirtualISPs(), nil
+	case "isp-a", "ispa":
+		return topology.ISPA(), nil
+	case "isp-b", "ispb":
+		return topology.ISPB(), nil
+	case "isp-c", "ispc":
+		return topology.ISPC(), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+type trackerViews struct{ tr *itracker.Server }
+
+func (v trackerViews) ViewFor(asn int) apptracker.DistanceView {
+	view, err := v.tr.Distances("")
+	if err != nil {
+		return nil
+	}
+	return view
+}

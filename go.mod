@@ -1,0 +1,3 @@
+module p4p
+
+go 1.22

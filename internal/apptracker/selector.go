@@ -1,0 +1,439 @@
+// Package apptracker implements the application-side peer selection of
+// the paper's Section 6.2: the native (random) policy of stock
+// BitTorrent trackers, the delay-localized policy used as the locality
+// baseline, the three-stage P4P policy driven by p-distance weights, and
+// the Pando-style upload/download bandwidth-matching policy built on the
+// optimization of Section 4.
+//
+// Policies are expressed over abstract Nodes so they can serve both the
+// discrete-event simulator and the HTTP appTracker binary.
+package apptracker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"p4p/internal/topology"
+)
+
+// Node is the selector's view of one client.
+type Node struct {
+	ID  int // opaque, unique within a swarm
+	PID topology.PID
+	ASN int
+}
+
+// Selector chooses up to m peers for a client from a candidate set.
+// Implementations must not return self or duplicates, must be
+// deterministic given the rng, and must return candidate indices.
+type Selector interface {
+	// Select returns indices into candidates. Fewer than m may be
+	// returned when candidates run out.
+	Select(self Node, candidates []Node, m int, rng *rand.Rand) []int
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// Random is the native BitTorrent appTracker: uniform random peers.
+type Random struct{}
+
+// Name implements Selector.
+func (Random) Name() string { return "native" }
+
+// Select implements Selector.
+func (Random) Select(self Node, candidates []Node, m int, rng *rand.Rand) []int {
+	perm := rng.Perm(len(candidates))
+	var out []int
+	for _, i := range perm {
+		if candidates[i].ID == self.ID {
+			continue
+		}
+		out = append(out, i)
+		if len(out) == m {
+			break
+		}
+	}
+	return out
+}
+
+// Localized is delay-localized BitTorrent: it ranks candidates by
+// round-trip delay and picks the closest. Delay is supplied by the
+// caller (the simulator derives it from propagation distances; a real
+// deployment would ping).
+type Localized struct {
+	// Delay returns an RTT estimate between two nodes; lower is closer.
+	Delay func(a, b Node) float64
+}
+
+// Name implements Selector.
+func (*Localized) Name() string { return "localized" }
+
+// Select implements Selector.
+func (l *Localized) Select(self Node, candidates []Node, m int, rng *rand.Rand) []int {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var cands []cand
+	for i, c := range candidates {
+		if c.ID == self.ID {
+			continue
+		}
+		cands = append(cands, cand{i, l.Delay(self, c)})
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return candidates[cands[a].idx].ID < candidates[cands[b].idx].ID
+	})
+	if len(cands) > m {
+		cands = cands[:m]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// ViewProvider hands a selector the current p-distance external view for
+// one AS. Implementations typically query an iTracker (or its portal
+// client) and cache by engine version.
+type ViewProvider interface {
+	// ViewFor returns the distance view from the perspective of the
+	// given AS, or nil if no iTracker covers it.
+	ViewFor(asn int) DistanceView
+}
+
+// DistanceView is the subset of core.View the selector needs; core.View
+// satisfies it.
+type DistanceView interface {
+	// Weights returns normalized selection weights from PID i with the
+	// concave robustness transform applied (gamma in (0,1]).
+	Weights(i topology.PID, gamma float64) map[topology.PID]float64
+	// Distance returns p_ij.
+	Distance(i, j topology.PID) float64
+}
+
+// P4PConfig tunes the three-stage P4P selection. Zero values take the
+// paper's defaults.
+type P4PConfig struct {
+	// UpperBoundIntraPID caps the fraction of peers chosen at the
+	// client's own PID (default 0.70).
+	UpperBoundIntraPID float64
+	// UpperBoundInterPID caps the cumulative fraction chosen inside the
+	// client's AS, including the intra-PID stage (default 0.80); it must
+	// exceed UpperBoundIntraPID to be meaningful.
+	UpperBoundInterPID float64
+	// Gamma is the concave transform exponent applied to the inter-PID
+	// weights for robustness (default 0.5; 1 disables).
+	Gamma float64
+}
+
+func (c P4PConfig) withDefaults() P4PConfig {
+	if c.UpperBoundIntraPID == 0 {
+		c.UpperBoundIntraPID = 0.70
+	}
+	if c.UpperBoundInterPID == 0 {
+		c.UpperBoundInterPID = 0.80
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.5
+	}
+	if c.UpperBoundInterPID < c.UpperBoundIntraPID {
+		panic(fmt.Sprintf("apptracker: UpperBoundInterPID %v < UpperBoundIntraPID %v", c.UpperBoundInterPID, c.UpperBoundIntraPID))
+	}
+	return c
+}
+
+// P4P is the paper's three-stage staged peer selection (Section 6.2):
+//
+//  1. intra-PID: up to UpperBoundIntraPID*m peers at the client's PID;
+//  2. inter-PID: up to UpperBoundInterPID*m peers (cumulative) inside
+//     the client's AS, sampled with probability proportional to the
+//     p-distance weights w_ij = 1/p_ij (concavified);
+//  3. inter-AS: the remainder from other ASes, with per-AS quota
+//     inversely proportional to the p-distance from the client's PID to
+//     that AS, using the client's own AS's view ("the appTracker uses
+//     the p-distances from AS-n's view").
+type P4P struct {
+	Views  ViewProvider
+	Config P4PConfig
+}
+
+// Name implements Selector.
+func (*P4P) Name() string { return "p4p" }
+
+// Select implements Selector.
+func (p *P4P) Select(self Node, candidates []Node, m int, rng *rand.Rand) []int {
+	cfg := p.Config.withDefaults()
+	view := p.Views.ViewFor(self.ASN)
+	if view == nil {
+		// No iTracker covers this AS: applications make default
+		// decisions (the paper's robustness answer) — fall back to
+		// random selection.
+		return Random{}.Select(self, candidates, m, rng)
+	}
+	taken := make([]bool, len(candidates))
+	var out []int
+	take := func(i int) {
+		taken[i] = true
+		out = append(out, i)
+	}
+
+	// Stage 1: intra-PID.
+	intraCap := int(cfg.UpperBoundIntraPID * float64(m))
+	var intra []int
+	for i, c := range candidates {
+		if c.ID != self.ID && c.ASN == self.ASN && c.PID == self.PID {
+			intra = append(intra, i)
+		}
+	}
+	shuffle(rng, intra)
+	for _, i := range intra {
+		if len(out) >= intraCap {
+			break
+		}
+		take(i)
+	}
+
+	// Stage 2: inter-PID within the AS, weighted sampling by PID. The
+	// cumulative in-AS bound adapts to relative distances, per Section
+	// 6.2: the default is an upper bound, raised toward 1 when external
+	// ASes are far more expensive than in-AS peers (and conversely the
+	// default applies when interdomain distances are comparable).
+	interFrac := cfg.UpperBoundInterPID
+	if adj := interASAdjustment(view, self, candidates); adj > 0 {
+		interFrac += (1 - cfg.UpperBoundInterPID) * adj
+	}
+	interCap := int(interFrac * float64(m))
+	weights := view.Weights(self.PID, cfg.Gamma)
+	byPID := map[topology.PID][]int{}
+	var pidsInAS []topology.PID
+	for i, c := range candidates {
+		if taken[i] || c.ID == self.ID || c.ASN != self.ASN || c.PID == self.PID {
+			continue
+		}
+		if _, seen := byPID[c.PID]; !seen {
+			pidsInAS = append(pidsInAS, c.PID)
+		}
+		byPID[c.PID] = append(byPID[c.PID], i)
+	}
+	sort.Slice(pidsInAS, func(a, b int) bool { return pidsInAS[a] < pidsInAS[b] })
+	for _, pid := range pidsInAS {
+		shuffle(rng, byPID[pid])
+	}
+	for len(out) < interCap {
+		pid, ok := samplePID(rng, pidsInAS, byPID, weights)
+		if !ok {
+			break
+		}
+		bucket := byPID[pid]
+		take(bucket[len(bucket)-1])
+		byPID[pid] = bucket[:len(bucket)-1]
+	}
+
+	// Stage 3: inter-AS. The per-AS quota is inversely proportional to
+	// the p-distance from the client's PID to the AS (approximated by
+	// the minimum p-distance to any of that AS's candidate PIDs), and
+	// within the chosen AS candidates are drawn by the same
+	// inverse-distance PID weights as stage 2, so crossing traffic
+	// prefers the cheaper interdomain circuits.
+	var externASNs []int
+	byASPID := map[int]map[topology.PID][]int{}
+	asPIDs := map[int][]topology.PID{}
+	asDist := map[int]float64{}
+	for i, c := range candidates {
+		if taken[i] || c.ID == self.ID || c.ASN == self.ASN {
+			continue
+		}
+		if _, seen := byASPID[c.ASN]; !seen {
+			externASNs = append(externASNs, c.ASN)
+			byASPID[c.ASN] = map[topology.PID][]int{}
+			asDist[c.ASN] = view.Distance(self.PID, c.PID)
+		} else if d := view.Distance(self.PID, c.PID); d < asDist[c.ASN] {
+			asDist[c.ASN] = d
+		}
+		if _, seen := byASPID[c.ASN][c.PID]; !seen {
+			asPIDs[c.ASN] = append(asPIDs[c.ASN], c.PID)
+		}
+		byASPID[c.ASN][c.PID] = append(byASPID[c.ASN][c.PID], i)
+	}
+	sort.Ints(externASNs)
+	for _, asn := range externASNs {
+		sort.Slice(asPIDs[asn], func(a, b int) bool { return asPIDs[asn][a] < asPIDs[asn][b] })
+		for _, pid := range asPIDs[asn] {
+			shuffle(rng, byASPID[asn][pid])
+		}
+	}
+	asWeight := map[int]float64{}
+	asTotal := 0.0
+	for _, asn := range externASNs {
+		d := asDist[asn]
+		w := 1.0
+		if d > 0 {
+			w = 1 / d
+		} else if d == 0 {
+			w = 1e6
+		}
+		asWeight[asn] = w
+		asTotal += w
+	}
+	pidWeights := view.Weights(self.PID, cfg.Gamma)
+	for len(out) < m && asTotal > 0 {
+		// Draw the AS.
+		x := rng.Float64() * asTotal
+		chosen := -1
+		for _, asn := range externASNs {
+			if len(asPIDs[asn]) == 0 {
+				continue
+			}
+			x -= asWeight[asn]
+			if x <= 0 || chosen < 0 {
+				chosen = asn
+				if x <= 0 {
+					break
+				}
+			}
+		}
+		if chosen < 0 {
+			break
+		}
+		// Draw the PID within the AS by inverse p-distance.
+		pid, ok := samplePID(rng, asPIDs[chosen], byASPID[chosen], pidWeights)
+		if !ok {
+			// AS exhausted: retire it.
+			asTotal -= asWeight[chosen]
+			asWeight[chosen] = 0
+			asPIDs[chosen] = nil
+			continue
+		}
+		bucket := byASPID[chosen][pid]
+		take(bucket[len(bucket)-1])
+		byASPID[chosen][pid] = bucket[:len(bucket)-1]
+	}
+
+	// Backfill if the staged quotas could not reach m but untaken
+	// candidates remain (robustness: connectivity first). Preference
+	// order keeps the locality caps meaningful: other ASes, then other
+	// PIDs in this AS, then the client's own PID as a last resort.
+	if len(out) < m {
+		var otherAS, otherPID, samePID []int
+		for i, c := range candidates {
+			if taken[i] || c.ID == self.ID {
+				continue
+			}
+			switch {
+			case c.ASN != self.ASN:
+				otherAS = append(otherAS, i)
+			case c.PID != self.PID:
+				otherPID = append(otherPID, i)
+			default:
+				samePID = append(samePID, i)
+			}
+		}
+		for _, class := range [][]int{otherAS, otherPID, samePID} {
+			shuffle(rng, class)
+			for _, i := range class {
+				if len(out) >= m {
+					break
+				}
+				take(i)
+			}
+		}
+	}
+	return out
+}
+
+// interASAdjustment compares the mean p-distance to external-AS
+// candidate PIDs against the mean to in-AS candidate PIDs and returns a
+// value in [0, 1]: 0 when external peering is no more expensive than
+// in-AS (keep the default bound), approaching 1 as external distances
+// dwarf in-AS ones (pull nearly all peers in-AS).
+func interASAdjustment(view DistanceView, self Node, candidates []Node) float64 {
+	var inSum, extSum float64
+	var inN, extN int
+	seenIn := map[topology.PID]bool{}
+	seenExt := map[topology.PID]bool{}
+	for _, c := range candidates {
+		if c.ID == self.ID {
+			continue
+		}
+		d := view.Distance(self.PID, c.PID)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if c.ASN == self.ASN {
+			if c.PID != self.PID && !seenIn[c.PID] {
+				seenIn[c.PID] = true
+				inSum += d
+				inN++
+			}
+		} else if !seenExt[c.PID] {
+			seenExt[c.PID] = true
+			extSum += d
+			extN++
+		}
+	}
+	if inN == 0 || extN == 0 {
+		return 0
+	}
+	inAvg := inSum / float64(inN)
+	extAvg := extSum / float64(extN)
+	if extAvg <= 0 || extAvg <= inAvg {
+		return 0
+	}
+	// Smoothly approach 1 as extAvg/inAvg grows; at 2x the adjustment
+	// is 0.5, at 10x it is 0.9.
+	const eps = 1e-12
+	ratio := extAvg / (inAvg + eps)
+	return 1 - 1/ratio
+}
+
+// samplePID draws one key from keys with the given normalized weights,
+// skipping keys with empty buckets. Returns false when nothing remains.
+func samplePID(rng *rand.Rand, keys []topology.PID, buckets map[topology.PID][]int, weights map[topology.PID]float64) (topology.PID, bool) {
+	total := 0.0
+	for _, k := range keys {
+		if len(buckets[k]) > 0 {
+			w := weights[k]
+			if w <= 0 {
+				// PIDs absent from the weight map (e.g. unreachable)
+				// still get a small floor so robustness is preserved.
+				w = 1e-9
+			}
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	x := rng.Float64() * total
+	for _, k := range keys {
+		if len(buckets[k]) == 0 {
+			continue
+		}
+		w := weights[k]
+		if w <= 0 {
+			w = 1e-9
+		}
+		x -= w
+		if x <= 0 {
+			return k, true
+		}
+	}
+	// Floating point slack: return the last non-empty key.
+	for i := len(keys) - 1; i >= 0; i-- {
+		if len(buckets[keys[i]]) > 0 {
+			return keys[i], true
+		}
+	}
+	return 0, false
+}
+
+func shuffle(rng *rand.Rand, s []int) {
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}

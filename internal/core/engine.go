@@ -1,0 +1,378 @@
+// Package core implements the paper's primary contribution: the
+// p4p-distance interface backed by optimization decomposition
+// (Sections 4–5).
+//
+// The iTracker's internal view is a PID-level topology with per-link
+// state: capacity c_e, background traffic b_e, and — for interdomain
+// links under percentile billing — a virtual capacity v_e. The engine
+// maintains a dual price p_e on every link and exposes to applications
+// only the external view: the full-mesh PID-pair distances
+//
+//	p_ij = Σ_{e on route(i,j)} price_e
+//
+// where price_e is p_e for the MLU objective and p_e + d_e for the
+// bandwidth-distance-product objective (eq. 15).
+//
+// Prices evolve by the projected super-gradient method of Section 5:
+//
+//	p_e(τ+1) = [ p_e(τ) + μ(τ) ξ_e(τ) ]⁺_S
+//
+// with ξ_e = b_e + t̄_e − α c_e for MLU (Proposition 1), where t̄_e is
+// the observed P4P traffic on link e and α the current maximum link
+// utilization, projected onto S = {p ≥ 0, Σ_e c_e p_e = 1}; and
+// ξ_e = b_e + t̄_e − c_e for BDP, projected onto the non-negative
+// orthant. Interdomain links instead price the virtual-capacity
+// constraint (eq. 16): ξ_e = t̄_e − v_e, p_e ≥ 0.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"p4p/internal/topology"
+)
+
+// Objective selects the ISP traffic-engineering objective that the dual
+// prices optimize (Section 5 and its "Extensions to ISP Objective").
+type Objective int
+
+const (
+	// MinimizeMLU minimizes the maximum link utilization (eqs. 8–14).
+	MinimizeMLU Objective = iota
+	// MinimizeBDP minimizes the bandwidth-distance product (eq. 15); the
+	// exposed distances become p_ij + d_ij.
+	MinimizeBDP
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinimizeMLU:
+		return "min-mlu"
+	case MinimizeBDP:
+		return "min-bdp"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// BackgroundPolicy selects which background volumes enter the gradient
+// (Section 5, "Peak Bandwidth").
+type BackgroundPolicy int
+
+const (
+	// CurrentBackground uses the most recently set background rates.
+	CurrentBackground BackgroundPolicy = iota
+	// PeakBackground uses the per-link peak rates registered with
+	// SetPeakBackground, so the ISP optimizes for peak-time conditions
+	// and P4P traffic yields to background traffic at peak.
+	PeakBackground
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Objective is the ISP objective; default MinimizeMLU.
+	Objective Objective
+	// Background selects current or peak background volumes.
+	Background BackgroundPolicy
+	// StepSize is the constant super-gradient step μ. The paper notes
+	// that, with networks and applications continuously evolving, a
+	// constant step is used in practice. Default 0.1.
+	StepSize float64
+	// PerturbFrac, if positive, multiplies each exposed distance by a
+	// uniform factor in [1-PerturbFrac, 1+PerturbFrac] to enhance
+	// privacy ("An iTracker may perturb the distances").
+	PerturbFrac float64
+	// PerturbSeed seeds the perturbation generator.
+	PerturbSeed int64
+	// IntraPID is the distance reported for p_ii (traffic staying inside
+	// one PID never crosses a backbone link); default 0.
+	IntraPID float64
+}
+
+// Engine is the dual-decomposition p-distance engine. It is safe for
+// concurrent use: queries take a read lock, updates a write lock.
+type Engine struct {
+	mu sync.RWMutex
+
+	g   *topology.Graph
+	r   *topology.Routing
+	cfg Config
+
+	prices  []float64 // p_e per link
+	bg      []float64 // current background rate per link, bits/sec
+	bgPeak  []float64 // peak background rate per link, bits/sec
+	virtual []float64 // v_e per link (bits/sec); NaN when not set
+	lastT   []float64 // last observed P4P traffic per link, bits/sec
+
+	rng     *rand.Rand
+	version int // incremented on every price update
+}
+
+// NewEngine builds an engine over a routed topology. Initial prices are
+// uniform on the projection set for MLU (p_e = 1/Σc_e) and zero for BDP.
+func NewEngine(g *topology.Graph, r *topology.Routing, cfg Config) *Engine {
+	if cfg.StepSize == 0 {
+		cfg.StepSize = 0.1
+	}
+	if cfg.StepSize < 0 {
+		panic("core: negative step size")
+	}
+	n := g.NumLinks()
+	e := &Engine{
+		g:       g,
+		r:       r,
+		cfg:     cfg,
+		prices:  make([]float64, n),
+		bg:      make([]float64, n),
+		bgPeak:  make([]float64, n),
+		virtual: make([]float64, n),
+		lastT:   make([]float64, n),
+		rng:     rand.New(rand.NewSource(cfg.PerturbSeed)),
+	}
+	for i := range e.virtual {
+		e.virtual[i] = math.NaN()
+	}
+	if cfg.Objective == MinimizeMLU {
+		var capSum float64
+		for _, l := range g.Links() {
+			capSum += l.CapacityBps
+		}
+		for i := range e.prices {
+			e.prices[i] = 1 / capSum
+		}
+	}
+	return e
+}
+
+// Graph returns the engine's internal-view topology.
+func (e *Engine) Graph() *topology.Graph { return e.g }
+
+// Routing returns the engine's routing.
+func (e *Engine) Routing() *topology.Routing { return e.r }
+
+// Version returns a counter incremented on every price update, letting
+// callers cache distance matrices until they change.
+func (e *Engine) Version() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// SetBackground installs current background rates (bits/sec per link).
+func (e *Engine) SetBackground(bps []float64) {
+	if len(bps) != len(e.bg) {
+		panic(fmt.Sprintf("core: background for %d links, graph has %d", len(bps), len(e.bg)))
+	}
+	e.mu.Lock()
+	copy(e.bg, bps)
+	e.mu.Unlock()
+}
+
+// SetPeakBackground installs per-link peak background rates used under
+// the PeakBackground policy.
+func (e *Engine) SetPeakBackground(bps []float64) {
+	if len(bps) != len(e.bgPeak) {
+		panic(fmt.Sprintf("core: peak background for %d links, graph has %d", len(bps), len(e.bgPeak)))
+	}
+	e.mu.Lock()
+	copy(e.bgPeak, bps)
+	e.mu.Unlock()
+}
+
+// SetVirtualCapacity installs the virtual capacity v_e (bits/sec) for an
+// interdomain link; its price then tracks the eq. 16 constraint instead
+// of the intradomain objective.
+func (e *Engine) SetVirtualCapacity(link topology.LinkID, bps float64) {
+	if bps < 0 {
+		panic("core: negative virtual capacity")
+	}
+	e.mu.Lock()
+	e.virtual[link] = bps
+	e.mu.Unlock()
+}
+
+// backgroundFor returns the background slice selected by policy.
+func (e *Engine) backgroundFor() []float64 {
+	if e.cfg.Background == PeakBackground {
+		return e.bgPeak
+	}
+	return e.bg
+}
+
+// ObserveTraffic records measured P4P traffic t̄_e (bits/sec per link),
+// as estimated from traffic measurements at each edge (Section 5).
+func (e *Engine) ObserveTraffic(bps []float64) {
+	if len(bps) != len(e.lastT) {
+		panic(fmt.Sprintf("core: observation for %d links, graph has %d", len(bps), len(e.lastT)))
+	}
+	e.mu.Lock()
+	copy(e.lastT, bps)
+	e.mu.Unlock()
+}
+
+// MLU returns the maximum link utilization implied by the current
+// background plus last observed P4P traffic.
+func (e *Engine) MLU() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mluLocked()
+}
+
+func (e *Engine) mluLocked() float64 {
+	bg := e.backgroundFor()
+	alpha := 0.0
+	for i, l := range e.g.Links() {
+		u := (bg[i] + e.lastT[i]) / l.CapacityBps
+		if u > alpha {
+			alpha = u
+		}
+	}
+	return alpha
+}
+
+// Update performs one projected super-gradient step from the last
+// observation, following Proposition 1 and its extensions.
+func (e *Engine) Update() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	links := e.g.Links()
+	bg := e.backgroundFor()
+	mu := e.cfg.StepSize
+
+	switch e.cfg.Objective {
+	case MinimizeMLU:
+		alpha := e.mluLocked()
+		// Gradient step on intradomain links, capacity-weighted simplex
+		// projection afterwards. Interdomain links with a virtual
+		// capacity use the eq. 16 price instead and stay out of the
+		// simplex.
+		var intraIdx []int
+		var intraY []float64
+		var intraCap []float64
+		for i, l := range links {
+			if l.Interdomain && !math.IsNaN(e.virtual[i]) {
+				// Normalize the constraint t_e <= v_e by v_e so the step
+				// size is comparable across links of different scale.
+				scale := e.virtual[i]
+				if scale <= 0 {
+					scale = l.CapacityBps
+				}
+				g := (e.lastT[i] - e.virtual[i]) / scale
+				e.prices[i] = math.Max(0, e.prices[i]+mu*g)
+				continue
+			}
+			// ξ_e = b_e + t̄_e − α c_e, normalized by Σc to keep the
+			// simplex step well-scaled.
+			g := (bg[i] + e.lastT[i] - alpha*l.CapacityBps) / l.CapacityBps
+			intraIdx = append(intraIdx, i)
+			intraY = append(intraY, e.prices[i]+mu*g/l.CapacityBps)
+			intraCap = append(intraCap, l.CapacityBps)
+		}
+		proj := projectWeightedSimplex(intraY, intraCap)
+		for k, i := range intraIdx {
+			e.prices[i] = proj[k]
+		}
+	case MinimizeBDP:
+		for i, l := range links {
+			if l.Interdomain && !math.IsNaN(e.virtual[i]) {
+				scale := e.virtual[i]
+				if scale <= 0 {
+					scale = l.CapacityBps
+				}
+				g := (e.lastT[i] - e.virtual[i]) / scale
+				e.prices[i] = math.Max(0, e.prices[i]+mu*g)
+				continue
+			}
+			// ξ_e = b_e + t̄_e − c_e (eq. 15), normalized by c_e.
+			g := (bg[i] + e.lastT[i] - l.CapacityBps) / l.CapacityBps
+			e.prices[i] = math.Max(0, e.prices[i]+mu*g)
+		}
+	}
+	e.version++
+}
+
+// SetPrice overrides one link's dual price — a provider-side warm
+// start. Typical use: initializing an interdomain link's price from
+// historical billing data so the very first applications already avoid
+// it; the super-gradient updates then relax or reinforce it.
+func (e *Engine) SetPrice(link topology.LinkID, price float64) {
+	if price < 0 {
+		panic("core: negative price")
+	}
+	e.mu.Lock()
+	e.prices[link] = price
+	e.version++
+	e.mu.Unlock()
+}
+
+// Price returns the current dual price of one link.
+func (e *Engine) Price(link topology.LinkID) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.prices[link]
+}
+
+// Prices returns a copy of all link prices.
+func (e *Engine) Prices() []float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]float64, len(e.prices))
+	copy(out, e.prices)
+	return out
+}
+
+// linkPrice is the per-link contribution to exposed distances.
+func (e *Engine) linkPrice(i int, l topology.Link) float64 {
+	if e.cfg.Objective == MinimizeBDP {
+		// Exposed distances for BDP are {p_ij + d_ij} (eq. 15 and the
+		// derivation following it).
+		return e.prices[i] + l.DistanceKm
+	}
+	return e.prices[i]
+}
+
+// PDistance returns the external-view distance p_ij between two PIDs
+// under the current prices (perturbation not applied; see Matrix).
+func (e *Engine) PDistance(i, j topology.PID) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pDistanceLocked(i, j)
+}
+
+func (e *Engine) pDistanceLocked(i, j topology.PID) float64 {
+	if i == j {
+		return e.cfg.IntraPID
+	}
+	path := e.r.Path(i, j)
+	if path == nil {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, id := range path {
+		sum += e.linkPrice(int(id), e.g.Link(id))
+	}
+	return sum
+}
+
+// Matrix materializes the external view over the given PIDs, applying
+// the configured privacy perturbation. This is what the p4p-distance
+// interface serves to applications.
+func (e *Engine) Matrix(pids []topology.PID) *View {
+	e.mu.Lock() // full lock: the perturbation RNG mutates
+	defer e.mu.Unlock()
+	v := &View{PIDs: append([]topology.PID(nil), pids...), D: make([][]float64, len(pids))}
+	for a, i := range pids {
+		v.D[a] = make([]float64, len(pids))
+		for b, j := range pids {
+			d := e.pDistanceLocked(i, j)
+			if e.cfg.PerturbFrac > 0 && a != b && !math.IsInf(d, 1) {
+				d *= 1 + e.cfg.PerturbFrac*(2*e.rng.Float64()-1)
+			}
+			v.D[a][b] = d
+		}
+	}
+	v.Version = e.version
+	return v
+}

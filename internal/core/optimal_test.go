@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p4p/internal/topology"
+)
+
+func TestMaxMatchingTwoPIDs(t *testing.T) {
+	s := Session{
+		PIDs: []topology.PID{0, 1},
+		Up:   []float64{10, 5},
+		Down: []float64{5, 10},
+	}
+	opt, err := MaxMatching(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t01 <= min(10,10)=10 and t10 <= min(5,5)=5 -> 15.
+	if math.Abs(opt-15) > 1e-6 {
+		t.Fatalf("OPT = %v, want 15", opt)
+	}
+}
+
+func TestMaxMatchingExcludesDiagonal(t *testing.T) {
+	// One PID alone can never match.
+	s := Session{PIDs: []topology.PID{0}, Up: []float64{100}, Down: []float64{100}}
+	opt, err := MaxMatching(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 0 {
+		t.Fatalf("single-PID OPT = %v, want 0", opt)
+	}
+}
+
+func TestMaxMatchingEmptyAndInvalid(t *testing.T) {
+	if opt, err := MaxMatching(Session{}); err != nil || opt != 0 {
+		t.Fatalf("empty session: %v, %v", opt, err)
+	}
+	if _, err := MaxMatching(Session{PIDs: []topology.PID{0}, Up: []float64{1, 2}, Down: []float64{1}}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := MaxMatching(Session{PIDs: []topology.PID{0}, Up: []float64{-1}, Down: []float64{1}}); err == nil {
+		t.Fatal("expected negativity error")
+	}
+}
+
+func TestMatchTrafficShipsBetaOPT(t *testing.T) {
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	view := HopCountView(r, pids)
+	s := Session{
+		PIDs: pids,
+		Up:   []float64{10, 10, 10, 10},
+		Down: []float64{10, 10, 10, 10},
+	}
+	opt, _ := MaxMatching(s)
+	for _, beta := range []float64{1.0, 0.8, 0.5} {
+		tm, err := MatchTraffic(view, s, beta, nil)
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		total := 0.0
+		for a := range tm {
+			for b := range tm[a] {
+				if a == b && tm[a][b] != 0 {
+					t.Fatal("diagonal traffic")
+				}
+				if tm[a][b] < -1e-9 {
+					t.Fatal("negative traffic")
+				}
+				total += tm[a][b]
+			}
+		}
+		if total < beta*opt-1e-6 {
+			t.Fatalf("beta=%v: shipped %v < %v", beta, total, beta*opt)
+		}
+		// Capacity constraints.
+		for a := range tm {
+			rowSum, colSum := 0.0, 0.0
+			for b := range tm {
+				rowSum += tm[a][b]
+				colSum += tm[b][a]
+			}
+			if rowSum > s.Up[a]+1e-6 || colSum > s.Down[a]+1e-6 {
+				t.Fatalf("beta=%v: capacity violated at PID %d", beta, a)
+			}
+		}
+	}
+}
+
+func TestMatchTrafficPrefersCheapLanes(t *testing.T) {
+	// With beta < 1 the optimizer should drop the expensive long lanes
+	// and keep adjacent ones.
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	view := HopCountView(r, pids)
+	s := Session{
+		PIDs: pids,
+		Up:   []float64{10, 10, 10, 10},
+		Down: []float64{10, 10, 10, 10},
+	}
+	tm, err := MatchTraffic(view, s, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costHalf := view.Total(tm)
+	tmFull, err := MatchTraffic(view, s, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costFull := view.Total(tmFull)
+	if costHalf >= costFull {
+		t.Fatalf("relaxing beta did not reduce cost: %v vs %v", costHalf, costFull)
+	}
+	// The extreme lane 0->3 (distance 3) should carry nothing at beta=0.5.
+	if tm[0][3] > 1e-6 {
+		t.Fatalf("expensive lane used at beta=0.5: %v", tm[0][3])
+	}
+}
+
+func TestMatchTrafficRobustnessFloor(t *testing.T) {
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	view := HopCountView(r, pids)
+	s := Session{
+		PIDs: pids,
+		Up:   []float64{10, 0, 0, 0},
+		Down: []float64{0, 10, 10, 10},
+	}
+	// Demand that at least 30% of PID-0 outbound goes to PID 3 (eq. 7)
+	// even though it is the most expensive lane.
+	rho := make([][]float64, 4)
+	for i := range rho {
+		rho[i] = make([]float64, 4)
+	}
+	rho[0][3] = 0.3
+	tm, err := MatchTraffic(view, s, 1.0, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tm[0][1] + tm[0][2] + tm[0][3]
+	if out <= 0 {
+		t.Fatal("no traffic shipped")
+	}
+	if tm[0][3] < 0.3*out-1e-6 {
+		t.Fatalf("robustness floor violated: %v of %v", tm[0][3], out)
+	}
+	// Without the floor, lane 0->3 is unused.
+	tmFree, err := MatchTraffic(view, s, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmFree[0][3] > 1e-6 {
+		t.Fatalf("unexpected traffic on 0->3 without floor: %v", tmFree[0][3])
+	}
+}
+
+func TestMatchTrafficErrors(t *testing.T) {
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	view := HopCountView(r, pids)
+	s := Session{PIDs: pids, Up: []float64{1, 1, 1, 1}, Down: []float64{1, 1, 1, 1}}
+	if _, err := MatchTraffic(view, s, -0.1, nil); err == nil {
+		t.Fatal("expected beta range error")
+	}
+	if _, err := MatchTraffic(view, s, 1.1, nil); err == nil {
+		t.Fatal("expected beta range error")
+	}
+	alien := Session{PIDs: []topology.PID{99}, Up: []float64{1}, Down: []float64{1}}
+	if _, err := MatchTraffic(view, alien, 1, nil); err == nil {
+		t.Fatal("expected unknown-PID error")
+	}
+	if tm, err := MatchTraffic(view, Session{}, 1, nil); err != nil || tm != nil {
+		t.Fatalf("empty session: %v, %v", tm, err)
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	tm := make([][]float64, 4)
+	for i := range tm {
+		tm[i] = make([]float64, 4)
+	}
+	tm[0][2] = 5 // traverses links 0->1 and 1->2
+	loads := make([]float64, g.NumLinks())
+	LinkLoads(r, pids, tm, loads)
+	path := r.Path(0, 2)
+	for _, e := range path {
+		if loads[e] != 5 {
+			t.Fatalf("load on path link %d = %v, want 5", e, loads[e])
+		}
+	}
+	total := 0.0
+	for _, v := range loads {
+		total += v
+	}
+	if total != 10 {
+		t.Fatalf("total load = %v, want 10 (2 hops x 5)", total)
+	}
+}
+
+func TestOptimalMLUOnLine(t *testing.T) {
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	// One session: PID 0 uploads 1 Gbps, PID 3 downloads 1 Gbps. All
+	// traffic must cross every link: optimal alpha = 1.0 at beta=1.
+	s := Session{
+		PIDs: pids,
+		Up:   []float64{1e9, 0, 0, 0},
+		Down: []float64{0, 0, 0, 1e9},
+	}
+	alpha, flows, err := OptimalMLU(r, make([]float64, g.NumLinks()), []Session{s}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-1.0) > 1e-6 {
+		t.Fatalf("alpha = %v, want 1.0", alpha)
+	}
+	if math.Abs(flows[0][0][3]-1e9) > 1 {
+		t.Fatalf("flow 0->3 = %v, want 1e9", flows[0][0][3])
+	}
+	// With beta=0.5 the LP halves the traffic: alpha = 0.5.
+	alpha, _, err = OptimalMLU(r, make([]float64, g.NumLinks()), []Session{s}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-0.5) > 1e-6 {
+		t.Fatalf("alpha at beta=0.5 = %v, want 0.5", alpha)
+	}
+}
+
+func TestOptimalMLUSpreadsAcrossPIDs(t *testing.T) {
+	// Star-free choice: PID 0 can send to PID 1 (1 hop) or PID 3 (3
+	// hops). The LP must prefer balanced low-utilization patterns.
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	s := Session{
+		PIDs: pids,
+		Up:   []float64{1e9, 0, 0, 0},
+		Down: []float64{0, 1e9, 0, 1e9},
+	}
+	alpha, flows, err := OptimalMLU(r, make([]float64, g.NumLinks()), []Session{s}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All upload fits on the first link either way: alpha = 1, but the
+	// optimum must not push any avoidable traffic deep into the chain.
+	if alpha > 1+1e-6 {
+		t.Fatalf("alpha = %v, want <= 1", alpha)
+	}
+	if flows[0][0][1] < 1e9-1e3 {
+		t.Fatalf("LP should satisfy demand at the near PID; got %v", flows[0][0][1])
+	}
+}
+
+func TestOptimalMLUBackgroundCounts(t *testing.T) {
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	bg := make([]float64, g.NumLinks())
+	bg[0] = 0.5e9
+	s := Session{
+		PIDs: pids,
+		Up:   []float64{0.5e9, 0, 0, 0},
+		Down: []float64{0, 0.5e9, 0, 0},
+	}
+	alpha, _, err := OptimalMLU(r, bg, []Session{s}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Link 0 carries 0.5 background + 0.5 P4P = full.
+	if math.Abs(alpha-1.0) > 1e-6 {
+		t.Fatalf("alpha = %v, want 1.0", alpha)
+	}
+}
+
+// TestDecompositionConvergesToOptimal is the paper's Proposition 1 in
+// action (experiment X2): iterating (application optimizes against
+// prices) <-> (iTracker updates prices by projected super-gradient)
+// drives the time-averaged traffic pattern's MLU close to the
+// centralized LP optimum.
+func TestDecompositionConvergesToOptimal(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	pids := g.AggregationPIDs()
+	rng := rand.New(rand.NewSource(17))
+	s := Session{PIDs: pids}
+	for range pids {
+		s.Up = append(s.Up, (0.5+rng.Float64())*2e9)
+		s.Down = append(s.Down, (0.5+rng.Float64())*2e9)
+	}
+	bg := make([]float64, g.NumLinks())
+	optAlpha, _, err := OptimalMLU(r, bg, []Session{s}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optAlpha <= 0 {
+		t.Fatalf("degenerate optimal alpha %v", optAlpha)
+	}
+
+	e := NewEngine(g, r, Config{Objective: MinimizeMLU, StepSize: 0.05})
+	avgLoads := make([]float64, g.NumLinks())
+	iters := 120
+	for it := 1; it <= iters; it++ {
+		view := e.Matrix(pids)
+		tm, err := MatchTraffic(view, s, 1.0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := make([]float64, g.NumLinks())
+		LinkLoads(r, pids, tm, loads)
+		// Primal averaging: the time-averaged pattern converges even
+		// though each iterate is an extreme point.
+		for i := range avgLoads {
+			avgLoads[i] += (loads[i] - avgLoads[i]) / float64(it)
+		}
+		e.ObserveTraffic(loads)
+		e.Update()
+	}
+	mlu := 0.0
+	for i, l := range g.Links() {
+		u := avgLoads[i] / l.CapacityBps
+		if u > mlu {
+			mlu = u
+		}
+	}
+	if mlu > 1.35*optAlpha {
+		t.Fatalf("decomposed MLU %v too far above optimal %v", mlu, optAlpha)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import "math"
+
+// projectWeightedSimplex computes the Euclidean projection of y onto the
+// weighted simplex S = { p >= 0 : Σ_e c_e p_e = 1 } used by the MLU
+// decomposition (eq. 14). The KKT conditions give p_e = max(0, y_e − λ c_e)
+// for the λ solving f(λ) = Σ_e c_e max(0, y_e − λ c_e) = 1; f is
+// continuous, piecewise-linear and strictly decreasing wherever positive,
+// so bisection converges.
+func projectWeightedSimplex(y, c []float64) []float64 {
+	if len(y) != len(c) {
+		panic("core: projection dimensions differ")
+	}
+	if len(y) == 0 {
+		return nil
+	}
+	f := func(lambda float64) float64 {
+		sum := 0.0
+		for i := range y {
+			v := y[i] - lambda*c[i]
+			if v > 0 {
+				sum += c[i] * v
+			}
+		}
+		return sum
+	}
+	// Bracket the root. λ_hi such that f(λ_hi) <= 1: at
+	// λ = max_i y_i/c_i every term is zero, so f = 0 <= 1.
+	lo := math.Inf(-1)
+	hi := math.Inf(1)
+	for i := range y {
+		r := y[i] / c[i]
+		if math.IsInf(lo, -1) || r < lo {
+			lo = r
+		}
+		if math.IsInf(hi, 1) || r > hi {
+			hi = r
+		}
+	}
+	// Push lo down until f(lo) >= 1.
+	span := hi - lo
+	if span <= 0 {
+		span = math.Abs(hi) + 1
+	}
+	for f(lo) < 1 {
+		lo -= span
+		span *= 2
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := (lo + hi) / 2
+	out := make([]float64, len(y))
+	for i := range y {
+		v := y[i] - lambda*c[i]
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	// Exact renormalization to absorb bisection residue.
+	sum := 0.0
+	for i := range out {
+		sum += c[i] * out[i]
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}

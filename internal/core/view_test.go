@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"p4p/internal/topology"
+)
+
+func sampleView() *View {
+	return &View{
+		PIDs: []topology.PID{0, 1, 2},
+		D: [][]float64{
+			{0, 2, 5},
+			{2, 0, 1},
+			{5, 1, 0},
+		},
+	}
+}
+
+func TestViewIndexAndDistance(t *testing.T) {
+	v := sampleView()
+	if i, ok := v.Index(2); !ok || i != 2 {
+		t.Fatalf("Index(2) = %d, %v", i, ok)
+	}
+	if _, ok := v.Index(7); ok {
+		t.Fatal("Index(7) should fail")
+	}
+	if d := v.Distance(0, 2); d != 5 {
+		t.Fatalf("Distance(0,2) = %v, want 5", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distance with unknown PID should panic")
+		}
+	}()
+	v.Distance(0, 9)
+}
+
+func TestViewRanks(t *testing.T) {
+	v := sampleView()
+	ranks := v.Ranks(0)
+	if len(ranks) != 2 || ranks[0] != 1 || ranks[1] != 2 {
+		t.Fatalf("Ranks(0) = %v, want [1 2]", ranks)
+	}
+	ranks = v.Ranks(2)
+	if ranks[0] != 1 || ranks[1] != 0 {
+		t.Fatalf("Ranks(2) = %v, want [1 0]", ranks)
+	}
+}
+
+func TestViewWeightsNormalize(t *testing.T) {
+	v := sampleView()
+	w := v.Weights(0, 1.0)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// w ~ 1/d: PID 1 (d=2) should outweigh PID 2 (d=5).
+	if w[1] <= w[2] {
+		t.Fatalf("weights not inverse to distance: %v", w)
+	}
+	// Exact ratio check: (1/2)/(1/5) = 2.5.
+	if math.Abs(w[1]/w[2]-2.5) > 1e-9 {
+		t.Fatalf("weight ratio = %v, want 2.5", w[1]/w[2])
+	}
+}
+
+func TestViewWeightsConcaveTransformFlattens(t *testing.T) {
+	v := sampleView()
+	sharp := v.Weights(0, 1.0)
+	flat := v.Weights(0, 0.5)
+	// The concave transform must shrink the ratio of large to small.
+	if flat[1]/flat[2] >= sharp[1]/sharp[2] {
+		t.Fatalf("concave transform did not flatten: %v vs %v", flat, sharp)
+	}
+	// Still normalized.
+	if math.Abs(flat[1]+flat[2]-1) > 1e-9 {
+		t.Fatal("concave weights not normalized")
+	}
+}
+
+func TestViewWeightsZeroDistance(t *testing.T) {
+	v := &View{
+		PIDs: []topology.PID{0, 1, 2},
+		D: [][]float64{
+			{0, 0, 4},
+			{0, 0, 4},
+			{4, 4, 0},
+		},
+	}
+	w := v.Weights(0, 1.0)
+	// Zero-distance PID must dominate overwhelmingly.
+	if w[1] < 0.999 {
+		t.Fatalf("zero-distance weight = %v, want ~1", w[1])
+	}
+}
+
+func TestViewWeightsSkipsUnreachable(t *testing.T) {
+	v := &View{
+		PIDs: []topology.PID{0, 1, 2},
+		D: [][]float64{
+			{0, math.Inf(1), 4},
+			{math.Inf(1), 0, 4},
+			{4, 4, 0},
+		},
+	}
+	w := v.Weights(0, 1.0)
+	if _, ok := w[1]; ok {
+		t.Fatal("unreachable PID must be absent from weights")
+	}
+	if math.Abs(w[2]-1) > 1e-9 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestViewWeightsPanics(t *testing.T) {
+	v := sampleView()
+	for _, fn := range []func(){
+		func() { v.Weights(0, 0) },
+		func() { v.Weights(0, 1.5) },
+		func() { v.Weights(9, 1) },
+		func() { v.Ranks(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestViewTotal(t *testing.T) {
+	v := sampleView()
+	tm := [][]float64{
+		{0, 1, 1},
+		{0, 0, 2},
+		{0, 0, 0},
+	}
+	// 2*1 + 5*1 + 1*2 = 9.
+	if got := v.Total(tm); got != 9 {
+		t.Fatalf("Total = %v, want 9", got)
+	}
+}
+
+func TestStaticViews(t *testing.T) {
+	g, r := fourLine()
+	pids := g.AggregationPIDs()
+	hv := HopCountView(r, pids)
+	if hv.Distance(0, 3) != 3 || hv.Distance(0, 0) != 0 {
+		t.Fatalf("hop view wrong: %v", hv.D)
+	}
+	ov := OSPFView(r, pids)
+	if ov.Distance(0, 3) != 3 { // unit weights on the line
+		t.Fatalf("ospf view wrong: %v", ov.D)
+	}
+	cost := make([]float64, g.NumLinks())
+	for i := range cost {
+		cost[i] = 10
+	}
+	cv := LinkCostView(r, pids, cost)
+	if cv.Distance(0, 2) != 20 {
+		t.Fatalf("cost view wrong: %v", cv.D)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad cost vector")
+		}
+	}()
+	LinkCostView(r, pids, []float64{1})
+}
+
+func TestRankView(t *testing.T) {
+	v := sampleView()
+	rv := RankView(v)
+	// From PID 0: PID 1 (d=2) rank 1, PID 2 (d=5) rank 2.
+	if rv.Distance(0, 1) != 1 || rv.Distance(0, 2) != 2 {
+		t.Fatalf("rank view row 0 = %v", rv.D[0])
+	}
+	// Ties share a rank.
+	tied := &View{
+		PIDs: []topology.PID{0, 1, 2},
+		D: [][]float64{
+			{0, 3, 3},
+			{3, 0, 3},
+			{3, 3, 0},
+		},
+	}
+	rt := RankView(tied)
+	if rt.Distance(0, 1) != 1 || rt.Distance(0, 2) != 1 {
+		t.Fatalf("tied ranks = %v", rt.D[0])
+	}
+	// Unreachable stays unreachable.
+	inf := &View{
+		PIDs: []topology.PID{0, 1},
+		D: [][]float64{
+			{0, math.Inf(1)},
+			{1, 0},
+		},
+	}
+	ri := RankView(inf)
+	if !math.IsInf(ri.Distance(0, 1), 1) {
+		t.Fatal("rank view must preserve unreachability")
+	}
+}

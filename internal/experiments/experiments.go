@@ -1,0 +1,318 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) plus the quantitative side claims, one function
+// per artifact. Each experiment returns a Report with the same rows or
+// series the paper presents; cmd/p4pexp prints them and bench_test.go
+// wraps each in a benchmark. DESIGN.md carries the experiment index and
+// EXPERIMENTS.md the paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"p4p/internal/apptracker"
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/metrics"
+	"p4p/internal/p2psim"
+	"p4p/internal/topology"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale in (0, 1] shrinks workloads proportionally (swarm sizes,
+	// client counts) so tests and quick benches stay fast; 1.0
+	// reproduces the paper's sizes.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Scale < 0 || o.Scale > 1 {
+		panic(fmt.Sprintf("experiments: scale %v out of (0, 1]", o.Scale))
+	}
+	return o
+}
+
+func (o Options) scaled(n int) int {
+	v := int(float64(n) * o.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// Tables are printed in order.
+	Tables []*metrics.Table
+	// Series holds named (x, y) lines for the paper's plots.
+	Series map[string][][2]float64
+	// Values holds the headline numbers (used by tests and
+	// EXPERIMENTS.md).
+	Values map[string]float64
+	// Notes document workload parameters and caveats.
+	Notes []string
+}
+
+func newReport(id, title string) *Report {
+	return &Report{
+		ID:     id,
+		Title:  title,
+		Series: map[string][][2]float64{},
+		Values: map[string]float64{},
+	}
+}
+
+func (r *Report) addTable(t *metrics.Table) { r.Tables = append(r.Tables, t) }
+
+func (r *Report) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the report as text.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%-40s %s\n", k, metrics.FormatFloat(r.Values[k]))
+		}
+	}
+	if len(r.Series) > 0 {
+		keys := make([]string, 0, len(r.Series))
+		for k := range r.Series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "series %s:", k)
+			for _, pt := range r.Series[k] {
+				fmt.Fprintf(&b, " (%s,%s)", metrics.FormatFloat(pt[0]), metrics.FormatFloat(pt[1]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// --- shared simulation scaffolding ---
+
+// policyName labels the three compared systems as the paper does.
+const (
+	policyNative    = "native"
+	policyLocalized = "localized"
+	policyP4P       = "p4p"
+)
+
+// liveViews adapts an iTracker set to the selector's ViewProvider:
+// views refresh automatically because the iTracker caches by engine
+// version.
+type liveViews struct {
+	mu       sync.Mutex
+	trackers map[int]*itracker.Server
+}
+
+func newLiveViews(trackers ...*itracker.Server) *liveViews {
+	m := map[int]*itracker.Server{}
+	for _, t := range trackers {
+		m[t.ASN()] = t
+	}
+	return &liveViews{trackers: m}
+}
+
+// ViewFor implements apptracker.ViewProvider.
+func (v *liveViews) ViewFor(asn int) apptracker.DistanceView {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	tr, ok := v.trackers[asn]
+	if !ok {
+		// Fall back to any tracker: an integrator can aggregate multiple
+		// iTrackers (Section 3).
+		for _, t := range v.trackers {
+			tr = t
+			break
+		}
+	}
+	if tr == nil {
+		return nil
+	}
+	view, err := tr.Distances("")
+	if err != nil {
+		return nil
+	}
+	return view
+}
+
+// protectedLinkViews is the Figure 6 iTracker: "the iTracker initially
+// assigns 0 to p-distances, and increases the p-distance of the
+// protected link if clients use this link." Distances are zero
+// everywhere except across the protected link.
+type protectedLinkViews struct {
+	mu        sync.Mutex
+	r         *topology.Routing
+	pids      []topology.PID
+	protected []topology.LinkID // typically the duplex pair of the circuit
+	price     float64
+	step      float64
+	cached    *core.View
+	version   int
+}
+
+func newProtectedLinkViews(r *topology.Routing, protected []topology.LinkID) *protectedLinkViews {
+	return &protectedLinkViews{
+		r:         r,
+		pids:      r.Graph().AggregationPIDs(),
+		protected: protected,
+		step:      1.0,
+	}
+}
+
+// Observe raises the protected circuit's price when it carries traffic.
+func (p *protectedLinkViews) Observe(linkRateBps []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.protected {
+		if linkRateBps[e] > 0 {
+			p.price += p.step
+			p.version++
+			p.cached = nil
+			return
+		}
+	}
+}
+
+// ViewFor implements apptracker.ViewProvider.
+func (p *protectedLinkViews) ViewFor(asn int) apptracker.DistanceView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cached != nil {
+		return p.cached
+	}
+	v := &core.View{PIDs: append([]topology.PID(nil), p.pids...), Version: p.version}
+	v.D = make([][]float64, len(p.pids))
+	for a, i := range p.pids {
+		v.D[a] = make([]float64, len(p.pids))
+		for b, j := range p.pids {
+			if a == b {
+				continue
+			}
+			for _, e := range p.protected {
+				if p.r.OnPath(e, i, j) {
+					v.D[a][b] = p.price
+					break
+				}
+			}
+		}
+	}
+	p.cached = v
+	return v
+}
+
+// delaySelector builds the delay-localized baseline: ranking peers by
+// measured round-trip delay. Real RTT measurements carry last-mile and
+// queueing noise far larger than metro-scale propagation differences,
+// so the model adds a deterministic per-measurement jitter; without it,
+// delay ranking would resolve same-PoP peers perfectly, which no
+// Internet measurement can.
+func delaySelector(r *topology.Routing, seed int64) apptracker.Selector {
+	jrng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return &apptracker.Localized{Delay: func(a, b apptracker.Node) float64 {
+		mu.Lock()
+		j := jrng.Float64() * 0.015
+		mu.Unlock()
+		return r.PropagationDelaySeconds(a.PID, b.PID) + j
+	}}
+}
+
+// spreadClients adds n leecher clients across the PIDs with joins
+// spread over joinWindow seconds, plus one seed at pids[0]. Placement
+// follows populationWeights: client density is highly non-uniform in
+// practice ("consider the high concentration of clients in certain
+// areas such as the northeastern part of US", Section 2), and that skew
+// is exactly what makes pure locality-based peering concentrate traffic
+// on a few backbone links.
+func spreadClients(s *p2psim.Sim, pids []topology.PID, asn, n int, upBps, downBps, seedUpBps, joinWindow float64, rng *rand.Rand) {
+	s.AddClient(p2psim.ClientSpec{
+		PID: pids[0], ASN: asn, UpBps: seedUpBps, DownBps: seedUpBps, IsSeed: true, Class: "seed",
+	})
+	weights := populationWeights(s, pids)
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * total
+		k := sort.SearchFloat64s(cum, x)
+		if k >= len(pids) {
+			k = len(pids) - 1
+		}
+		s.AddClient(p2psim.ClientSpec{
+			PID:     pids[k],
+			ASN:     asn,
+			UpBps:   upBps,
+			DownBps: downBps,
+			JoinAt:  joinWindow * float64(i) / float64(n),
+		})
+	}
+}
+
+// populationWeights assigns placement probability per PID. Abilene gets
+// a metro-population profile with the northeastern concentration the
+// paper calls out; other topologies get a Zipf profile over PIDs.
+func populationWeights(s *p2psim.Sim, pids []topology.PID) []float64 {
+	g := s.Graph()
+	abilene := map[string]float64{
+		"NewYork": 0.22, "WashingtonDC": 0.18, "Chicago": 0.12,
+		"LosAngeles": 0.12, "Atlanta": 0.09, "Indianapolis": 0.05,
+		"Houston": 0.06, "Denver": 0.05, "KansasCity": 0.04,
+		"Seattle": 0.04, "Sunnyvale": 0.03,
+	}
+	out := make([]float64, len(pids))
+	isAbilene := g.Name == "Abilene"
+	for i, pid := range pids {
+		if isAbilene {
+			if w, ok := abilene[g.Node(pid).Name]; ok {
+				out[i] = w
+				continue
+			}
+		}
+		out[i] = 1 / float64(i+1) // Zipf(1)
+	}
+	return out
+}
+
+// meanOrNaN guards empty slices.
+func meanOrNaN(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	return metrics.Mean(v)
+}

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p4p/internal/apptracker"
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/metrics"
+	"p4p/internal/p2psim"
+	"p4p/internal/topology"
+)
+
+// Table1Networks reproduces Table 1: the networks evaluated.
+func Table1Networks(opt Options) *Report {
+	_ = opt.withDefaults()
+	r := newReport("T1", "Summary of networks evaluated (Table 1)")
+	tbl := &metrics.Table{Header: []string{"Network", "Region", "Aggregation", "#Nodes", "#Links", "Usage"}}
+	rows := []struct {
+		g      *topology.Graph
+		region string
+		level  string
+		usage  string
+	}{
+		{topology.Abilene(), "US", "router-level", "Internet experiments, simulation"},
+		{topology.ISPA(), "US", "PoP-level", "simulation"},
+		{topology.ISPB(), "US", "PoP-level", "Internet experiments"},
+		{topology.ISPC(), "International", "PoP-level", "Internet experiments"},
+	}
+	for _, row := range rows {
+		tbl.AddRow(row.g.Name, row.region, row.level, row.g.NumNodes(), row.g.NumLinks(), row.usage)
+		r.Values["nodes/"+row.g.Name] = float64(row.g.NumNodes())
+	}
+	r.addTable(tbl)
+	return r
+}
+
+// intradomainRun is one swarm under one policy with full measurement.
+type intradomainRun struct {
+	policy     string
+	result     *p2psim.Result
+	watchBytes float64 // cumulative bytes on the protected/bottleneck link
+}
+
+// runIntradomainSwarm runs one policy on a topology with the MLU
+// iTracker in the loop for P4P.
+func runIntradomainSwarm(policy string, g *topology.Graph, r *topology.Routing, n int, fileBytes int64, seedUpBps float64, seed int64, protect []topology.LinkID, gamma float64) *intradomainRun {
+	asn := g.Node(0).ASN
+	cfg := p2psim.Config{
+		Graph:          g,
+		Routing:        r,
+		Seed:           seed,
+		FileBytes:      fileBytes,
+		SampleInterval: 2,
+		WatchLinks:     protect,
+		TCPWindowBytes: 32 << 10,
+		// All policies re-query the tracker periodically, so evolving
+		// p-distances steer running swarms (the appTracker "periodically
+		// obtains p-distances from iTrackers").
+		ReselectInterval: 20,
+	}
+	switch policy {
+	case policyNative:
+		cfg.Selector = apptracker.Random{}
+	case policyLocalized:
+		cfg.Selector = delaySelector(r, seed+3)
+	case policyP4P:
+		if len(protect) > 0 {
+			// Figure 6 mode: protect one link.
+			pv := newProtectedLinkViews(r, protect)
+			cfg.Selector = &apptracker.P4P{Views: pv, Config: apptracker.P4PConfig{Gamma: gamma}}
+			cfg.MeasureInterval = 10
+			cfg.OnMeasure = func(now float64, rates []float64) { pv.Observe(rates) }
+		} else {
+			// MLU objective via the dual engine.
+			engine := core.NewEngine(g, r, core.Config{Objective: core.MinimizeMLU, StepSize: 0.3})
+			tr := itracker.New(itracker.Config{Name: g.Name, ASN: asn}, engine, nil)
+			cfg.Selector = &apptracker.P4P{Views: newLiveViews(tr), Config: apptracker.P4PConfig{Gamma: gamma}}
+			cfg.MeasureInterval = 2
+			cfg.OnMeasure = func(now float64, rates []float64) { tr.ObserveAndUpdate(rates) }
+		}
+	default:
+		panic("experiments: unknown policy " + policy)
+	}
+	sim := p2psim.New(cfg)
+	pids := g.AggregationPIDs()
+	spreadClients(sim, pids, asn, n, 100e6, 100e6, seedUpBps, 300, rand.New(rand.NewSource(seed+1)))
+	res := sim.Run()
+	run := &intradomainRun{policy: policy, result: res}
+	if len(protect) > 0 {
+		// The protected circuit's volume: the max over its directions,
+		// matching the paper's per-link bottleneck-traffic bars.
+		for _, e := range protect {
+			if v := res.LinkBytes[e]; v > run.watchBytes {
+				run.watchBytes = v
+			}
+		}
+	} else {
+		_, run.watchBytes = res.BottleneckTraffic()
+	}
+	return run
+}
+
+// Figure6BitTorrentInternet reproduces the PlanetLab BitTorrent
+// experiments of Section 7.2 (Figure 6): three parallel swarms of 160
+// university clients sharing a 12 MB file with a 100 KBps seed, and an
+// iTracker protecting the high-utilization Washington DC -> New York
+// link. Reported: per-client completion-time CDFs (6a) and P2P traffic
+// on the protected bottleneck link (6b).
+func Figure6BitTorrentInternet(opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := newReport("F6", "BitTorrent Internet experiments (Figure 6)")
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	protect := protectedCircuit(g)
+	n := opt.scaled(160)
+	rep.note("swarm %d clients, 12 MB file, 100 KBps seed, protected circuit WashingtonDC<->NewYork", n)
+
+	tbl := &metrics.Table{Header: []string{"policy", "mean completion s", "p95 completion s", "bottleneck MB"}}
+	for _, policy := range []string{policyP4P, policyLocalized, policyNative} {
+		run := runIntradomainSwarm(policy, g, r, n, 12<<20, 100e3*8, opt.Seed, protect, 0.5)
+		ct := run.result.CompletionTimes()
+		cdf := metrics.NewCDF(ct)
+		rep.Series["completion-cdf/"+policy] = cdf.Points(20)
+		mb := run.watchBytes / (1 << 20)
+		tbl.AddRow(policy, cdf.Mean(), cdf.Quantile(0.95), mb)
+		rep.Values["mean-completion/"+policy] = cdf.Mean()
+		rep.Values["bottleneck-mb/"+policy] = mb
+	}
+	rep.addTable(tbl)
+	rep.Values["bottleneck-ratio/native-vs-p4p"] = metrics.Ratio(
+		rep.Values["bottleneck-mb/"+policyNative], rep.Values["bottleneck-mb/"+policyP4P])
+	rep.Values["bottleneck-ratio/localized-vs-p4p"] = metrics.Ratio(
+		rep.Values["bottleneck-mb/"+policyLocalized], rep.Values["bottleneck-mb/"+policyP4P])
+	rep.Values["completion-improvement-pct/p4p-vs-native"] = metrics.ImprovementPercent(
+		rep.Values["mean-completion/"+policyNative], rep.Values["mean-completion/"+policyP4P])
+	return rep
+}
+
+// Figure7SwarmSize reproduces the swarm-size sweep of Figure 7 on
+// Abilene: average completion time for swarms of 200-800 peers (7a) and
+// the bottleneck link utilization over time at swarm size 700 (7b).
+func Figure7SwarmSize(opt Options) *Report {
+	return swarmSizeSweep(opt, "F7", topology.Abilene(), false)
+}
+
+// Figure8ISPA repeats the sweep on the ISP-A PoP-level topology
+// (Figure 8), reporting values normalized by native's maximum as the
+// paper does.
+func Figure8ISPA(opt Options) *Report {
+	return swarmSizeSweep(opt, "F8", topology.ISPA(), true)
+}
+
+func swarmSizeSweep(opt Options, id string, g *topology.Graph, normalize bool) *Report {
+	opt = opt.withDefaults()
+	rep := newReport(id, fmt.Sprintf("Swarm-size sweep on %s (Figure %s)", g.Name, id[1:]))
+	r := topology.ComputeRouting(g)
+	sizes := []int{200, 300, 400, 500, 600, 700, 800}
+	utilSize := 700
+	// The paper's simulations share a 256 MB file in 256 KB pieces over
+	// 100 Mbps access links with a 1 Gbps seed.
+	rep.note("topology %s, 256 MB file, swarm sizes %v scaled by %.2f", g.Name, sizes, opt.Scale)
+
+	tbl := &metrics.Table{Header: []string{"swarm", "native s", "localized s", "p4p s"}}
+	type key struct {
+		policy string
+		size   int
+	}
+	means := map[key]float64{}
+	var peakUtil = map[string]float64{}
+	for _, size := range sizes {
+		n := opt.scaled(size)
+		row := []interface{}{n}
+		for _, policy := range []string{policyNative, policyLocalized, policyP4P} {
+			run := runIntradomainSwarm(policy, g, r, n, 256<<20, 1e9, opt.Seed+int64(size), nil, 1.0)
+			mean := meanOrNaN(run.result.CompletionTimes())
+			means[key{policy, size}] = mean
+			row = append(row, mean)
+			rep.Series["completion/"+policy] = append(rep.Series["completion/"+policy], [2]float64{float64(n), mean})
+			if size == utilSize {
+				for _, s := range run.result.Samples {
+					rep.Series["utilization/"+policy] = append(rep.Series["utilization/"+policy], [2]float64{s.T, s.MaxUtil * 100})
+				}
+				peakUtil[policy] = run.result.PeakUtilization()
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	rep.addTable(tbl)
+	// Headline numbers: average improvement across sizes, peak
+	// utilization ratio at the 700-peer point.
+	var impSum float64
+	for _, size := range sizes {
+		impSum += metrics.ImprovementPercent(means[key{policyNative, size}], means[key{policyP4P, size}])
+	}
+	rep.Values["avg-completion-improvement-pct/p4p-vs-native"] = impSum / float64(len(sizes))
+	rep.Values["peak-utilization/native"] = peakUtil[policyNative]
+	rep.Values["peak-utilization/localized"] = peakUtil[policyLocalized]
+	rep.Values["peak-utilization/p4p"] = peakUtil[policyP4P]
+	rep.Values["peak-utilization-ratio/native-vs-p4p"] = metrics.Ratio(peakUtil[policyNative], peakUtil[policyP4P])
+	rep.Values["peak-utilization-ratio/localized-vs-p4p"] = metrics.Ratio(peakUtil[policyLocalized], peakUtil[policyP4P])
+	if normalize {
+		// Normalize completion series by native's maximum (Figure 8a).
+		maxNative := 0.0
+		for _, pt := range rep.Series["completion/"+policyNative] {
+			if pt[1] > maxNative {
+				maxNative = pt[1]
+			}
+		}
+		if maxNative > 0 {
+			for name, series := range rep.Series {
+				if len(name) >= 10 && name[:10] == "completion" {
+					for i := range series {
+						series[i][1] /= maxNative
+					}
+					rep.Series[name] = series
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Figure9Liveswarms reproduces the Liveswarms streaming integration
+// (Figure 9): 53 clients streaming a 90-minute video for 20 minutes;
+// native versus P4P backbone traffic volume, with throughput held.
+func Figure9Liveswarms(opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := newReport("F9", "Liveswarms streaming integration (Figure 9)")
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	n := opt.scaled(53)
+	duration := 1200 * opt.Scale
+	if duration < 120 {
+		duration = 120
+	}
+	rep.note("%d clients, 90-min 400 kbps stream, %.0f s runs", n, duration)
+	tbl := &metrics.Table{Header: []string{"policy", "avg backbone MB", "mean goodput kbps"}}
+	for _, policy := range []string{policyNative, policyP4P} {
+		cfg := p2psim.Config{
+			Graph:            g,
+			Routing:          r,
+			Seed:             opt.Seed,
+			PieceBytes:       64 << 10,
+			MaxTime:          duration,
+			ReselectInterval: 20,
+			// A small neighbor set keeps selection meaningful at the
+			// paper's 53-client swarm size.
+			NeighborTarget: 6,
+			Streaming:      &p2psim.StreamingConfig{RateBps: 400e3, ContentSec: 90 * 60, WindowSec: 60},
+		}
+		switch policy {
+		case policyNative:
+			cfg.Selector = apptracker.Random{}
+		case policyP4P:
+			// The streaming integration runs against a
+			// bandwidth-distance-product iTracker: its exposed distances
+			// p_ij + d_ij carry locality even before congestion prices
+			// build up, which is what cuts backbone volume for a
+			// short-lived streaming session.
+			engine := core.NewEngine(g, r, core.Config{Objective: core.MinimizeBDP, StepSize: 0.2})
+			tr := itracker.New(itracker.Config{Name: g.Name, ASN: g.Node(0).ASN}, engine, nil)
+			cfg.Selector = &apptracker.P4P{Views: newLiveViews(tr), Config: apptracker.P4PConfig{Gamma: 1.0}}
+			cfg.MeasureInterval = 10
+			cfg.OnMeasure = func(now float64, rates []float64) { tr.ObserveAndUpdate(rates) }
+		}
+		sim := p2psim.New(cfg)
+		pids := g.AggregationPIDs()
+		spreadClients(sim, pids, g.Node(0).ASN, n, 10e6, 10e6, 20e6, 60, rand.New(rand.NewSource(opt.Seed+2)))
+		res := sim.Run()
+		// Average per-backbone-link traffic volume, the paper's metric.
+		var totalLinkBytes float64
+		for _, v := range res.LinkBytes {
+			totalLinkBytes += v
+		}
+		avgMB := totalLinkBytes / float64(g.NumLinks()) / (1 << 20)
+		goodput := res.TotalBytes * 8 / float64(n) / res.Duration / 1e3
+		tbl.AddRow(policy, avgMB, goodput)
+		rep.Values["avg-backbone-mb/"+policy] = avgMB
+		rep.Values["goodput-kbps/"+policy] = goodput
+	}
+	rep.addTable(tbl)
+	rep.Values["backbone-reduction-pct"] = metrics.ImprovementPercent(
+		rep.Values["avg-backbone-mb/"+policyNative], rep.Values["avg-backbone-mb/"+policyP4P])
+	return rep
+}
+
+// AblationConcave is design-choice ablation A2: the concave transform
+// on selection weights (the paper's lightweight robustness constraint,
+// eq. 7) versus raw inverse-distance weights, in the Figure 6 setting.
+func AblationConcave(opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := newReport("A2", "Ablation: concave robustness transform (eq. 7)")
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	n := opt.scaled(160)
+	tbl := &metrics.Table{Header: []string{"gamma", "mean completion s", "bottleneck MB", "max-PID-share"}}
+	for _, gamma := range []float64{1.0, 0.5} {
+		// MLU-engine mode: prices spread across links, so the distance
+		// matrix has the contrast the transform acts on.
+		run := runIntradomainSwarm(policyP4P, g, r, n, 12<<20, 1e9, opt.Seed, nil, gamma)
+		ct := run.result.CompletionTimes()
+		// Spread measure: the largest share of traffic received from a
+		// single source PID (lower = more diverse = more robust).
+		perPID := map[topology.PID]float64{}
+		var total float64
+		for key, b := range run.result.PIDBytes {
+			perPID[key[0]] += b
+			total += b
+		}
+		maxShare := 0.0
+		for _, b := range perPID {
+			if s := b / total; s > maxShare {
+				maxShare = s
+			}
+		}
+		tbl.AddRow(gamma, meanOrNaN(ct), run.watchBytes/(1<<20), maxShare)
+		rep.Values[fmt.Sprintf("mean-completion/gamma=%.1f", gamma)] = meanOrNaN(ct)
+		rep.Values[fmt.Sprintf("max-pid-share/gamma=%.1f", gamma)] = maxShare
+	}
+	rep.addTable(tbl)
+	return rep
+}
+
+// protectedCircuit returns the duplex Washington DC <-> New York circuit
+// of Abilene — "one of the most congested links on Abilene most of the
+// time" — which the Figure 6 iTracker protects.
+func protectedCircuit(g *topology.Graph) []topology.LinkID {
+	dc, ok := g.FindNode("WashingtonDC")
+	if !ok {
+		panic("experiments: Abilene has no WashingtonDC node")
+	}
+	ny, ok := g.FindNode("NewYork")
+	if !ok {
+		panic("experiments: Abilene has no NewYork node")
+	}
+	fwd, ok := g.FindLink(dc, ny)
+	if !ok {
+		panic("experiments: no WashingtonDC->NewYork link")
+	}
+	rev, ok := g.FindLink(ny, dc)
+	if !ok {
+		panic("experiments: no NewYork->WashingtonDC link")
+	}
+	return []topology.LinkID{fwd, rev}
+}

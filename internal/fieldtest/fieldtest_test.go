@@ -1,0 +1,252 @@
+package fieldtest
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"p4p/internal/topology"
+)
+
+var pairOnce sync.Once
+var pairNative, pairP4P *Result
+
+// runPair runs the two parallel swarms once at the default field-test
+// scale and shares the results across tests (the emulation is
+// deterministic, so sharing is safe). The clients argument is kept for
+// call-site clarity but the default population is always used: the
+// staged quotas are availability-capped, so a sparser ISP-B swarm
+// would legitimately localize less and change the shapes under test.
+func runPair(t *testing.T, clients int) (*Result, *Result) {
+	t.Helper()
+	_ = clients
+	pairOnce.Do(func() {
+		g := topology.ISPB()
+		r := topology.ComputeRouting(g)
+		pairNative = Run(Config{Graph: g, Routing: r, Policy: Native, Seed: 1})
+		pairP4P = Run(Config{Graph: g, Routing: r, Policy: P4P, Seed: 2})
+	})
+	return pairNative, pairP4P
+}
+
+func TestAllClientsComplete(t *testing.T) {
+	n, p := runPair(t, 20000)
+	for _, r := range []*Result{n, p} {
+		if len(r.Completions) < 19000 {
+			t.Fatalf("%s: only %d of ~20000 completed", r.Policy, len(r.Completions))
+		}
+		for _, c := range r.Completions {
+			if c.FinishSec < c.ArriveSec {
+				t.Fatalf("%s: negative duration", r.Policy)
+			}
+		}
+	}
+}
+
+func TestSwarmSizeShape(t *testing.T) {
+	n, _ := runPair(t, 20000)
+	peak, peakT := n.PeakSwarmSize()
+	if peak == 0 {
+		t.Fatal("empty swarm")
+	}
+	// Figure 11: the swarms reach their largest size in the first 3
+	// days, then decrease and remain lower afterwards.
+	if peakT > 3*86400 {
+		t.Fatalf("peak at day %.1f, want within first 3 days", peakT/86400)
+	}
+	last := n.SwarmSize[len(n.SwarmSize)-1]
+	if last.Count >= peak/2 {
+		t.Fatalf("swarm did not decay: end %d vs peak %d", last.Count, peak)
+	}
+}
+
+func TestParallelSwarmsComparable(t *testing.T) {
+	// Random assignment gives the two swarms nearly equal size curves —
+	// the basis for a fair comparison (Figure 11).
+	n, p := runPair(t, 20000)
+	pn, _ := n.PeakSwarmSize()
+	pp, _ := p.PeakSwarmSize()
+	ratio := float64(pn) / float64(pp)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("swarm peaks diverge: %d vs %d", pn, pp)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	n, p := runPair(t, 20000)
+	// ext<->ext roughly unchanged (P4P optimizes for ISP-B only).
+	ee := n.ASMatrix[[2]string{"ext", "ext"}] / p.ASMatrix[[2]string{"ext", "ext"}]
+	if ee < 0.8 || ee > 1.25 {
+		t.Fatalf("ext-ext ratio %v, want ~1", ee)
+	}
+	// Interdomain volumes shrink under P4P (paper: 1.53x and 1.70x).
+	inRatio := n.ASMatrix[[2]string{"ext", "ispb"}] / p.ASMatrix[[2]string{"ext", "ispb"}]
+	outRatio := n.ASMatrix[[2]string{"ispb", "ext"}] / p.ASMatrix[[2]string{"ispb", "ext"}]
+	if inRatio < 1.2 {
+		t.Fatalf("ext->ispb ratio %v, want > 1.2", inRatio)
+	}
+	if outRatio < 1.2 {
+		t.Fatalf("ispb->ext ratio %v, want > 1.2", outRatio)
+	}
+	// Intra-ISP concentration grows severalfold (paper ratio 0.15).
+	intra := n.ASMatrix[[2]string{"ispb", "ispb"}] / p.ASMatrix[[2]string{"ispb", "ispb"}]
+	if intra > 0.5 {
+		t.Fatalf("ispb-ispb ratio %v, want < 0.5", intra)
+	}
+}
+
+func TestTable3LocalizationShape(t *testing.T) {
+	n, p := runPair(t, 20000)
+	// Paper: 6.27% -> 57.98%.
+	if n.LocalizationPercent() > 20 {
+		t.Fatalf("native localization %v%%, want low", n.LocalizationPercent())
+	}
+	if p.LocalizationPercent() < 40 {
+		t.Fatalf("p4p localization %v%%, want high", p.LocalizationPercent())
+	}
+}
+
+func TestFigure12aUnitBDPShape(t *testing.T) {
+	n, p := runPair(t, 20000)
+	// Paper: 5.5 -> 0.89, an ~5x reduction.
+	if n.UnitBDP < 3 {
+		t.Fatalf("native unit BDP %v, want several backbone hops", n.UnitBDP)
+	}
+	if p.UnitBDP > n.UnitBDP/2 {
+		t.Fatalf("p4p unit BDP %v not well below native %v", p.UnitBDP, n.UnitBDP)
+	}
+}
+
+func TestFigure12bCompletionImprovement(t *testing.T) {
+	n, p := runPair(t, 20000)
+	nm := n.MeanCompletionSec("", true)
+	pm := p.MeanCompletionSec("", true)
+	// Paper: 23% improvement; require directional improvement.
+	if !(pm < nm) {
+		t.Fatalf("p4p mean %v not better than native %v", pm, nm)
+	}
+	// And multi-hour absolute scale (the field test measured ~2-2.6h).
+	if nm < 600 || nm > 86400 {
+		t.Fatalf("native mean completion %v s implausible", nm)
+	}
+}
+
+func TestFigure12cFTTP(t *testing.T) {
+	n, p := runPair(t, 20000)
+	nf := n.MeanCompletionSec("fttp", true)
+	pf := p.MeanCompletionSec("fttp", true)
+	if !(pf < nf) {
+		t.Fatalf("p4p FTTP mean %v not better than native %v", pf, nf)
+	}
+	// FTTP is much faster than the overall ISP-B mean in both swarms.
+	if nf >= n.MeanCompletionSec("", true) {
+		t.Fatal("FTTP should beat the ISP-B average")
+	}
+}
+
+func TestMetroHopsShape(t *testing.T) {
+	n, p := runPair(t, 20000)
+	// Section 1: metro-hops fall from 5.5 to 0.89 in the Verizon field
+	// observation; require a strong reduction.
+	if p.MetroHops > n.MetroHops/2 {
+		t.Fatalf("metro hops %v -> %v: reduction too weak", n.MetroHops, p.MetroHops)
+	}
+}
+
+func TestCompletionDurationsSorted(t *testing.T) {
+	n, _ := runPair(t, 20000)
+	ds := n.CompletionDurations("", false)
+	for i := 1; i < len(ds); i++ {
+		if ds[i] < ds[i-1] {
+			t.Fatal("durations not sorted")
+		}
+	}
+	if len(ds) == 0 {
+		t.Fatal("no durations")
+	}
+	fttp := n.CompletionDurations("fttp", true)
+	if len(fttp) == 0 || len(fttp) >= len(ds) {
+		t.Fatalf("fttp filter wrong: %d of %d", len(fttp), len(ds))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g := topology.ISPB()
+	r := topology.ComputeRouting(g)
+	a := Run(Config{Graph: g, Routing: r, Policy: P4P, Seed: 5, TotalClients: 5000})
+	b := Run(Config{Graph: g, Routing: r, Policy: P4P, Seed: 5, TotalClients: 5000})
+	if a.UnitBDP != b.UnitBDP || len(a.Completions) != len(b.Completions) {
+		t.Fatal("field test emulation not deterministic")
+	}
+	if a.MeanCompletionSec("", true) != b.MeanCompletionSec("", true) {
+		t.Fatal("means differ across identical runs")
+	}
+}
+
+func TestArrivalShareNormalizes(t *testing.T) {
+	days := 11.0
+	step := 900.0
+	sum := 0.0
+	for t0 := 0.0; t0 < days*86400; t0 += step {
+		sum += arrivalShare(t0, step, days)
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Fatalf("arrival shares sum to %v, want ~1", sum)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// Traffic received by completed clients must be at least
+	// completions x file size (clients may also have partial progress).
+	g := topology.ISPB()
+	r := topology.ComputeRouting(g)
+	res := Run(Config{Graph: g, Routing: r, Policy: Native, Seed: 3, TotalClients: 5000})
+	var total float64
+	for _, v := range res.ASMatrix {
+		total += v
+	}
+	minExpected := float64(len(res.Completions)) * float64(20<<20)
+	if total < minExpected {
+		t.Fatalf("total traffic %v below completed volume %v", total, minExpected)
+	}
+	// And not wildly above (every client downloads the file once).
+	if total > 1.5*minExpected+1e9 {
+		t.Fatalf("total traffic %v too far above %v", total, minExpected)
+	}
+}
+
+func TestPanicsWithoutTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestPolicyString(t *testing.T) {
+	if Native.String() != "native" || P4P.String() != "p4p" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestSampleSwarmSizeTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 200000
+	over100 := 0
+	for i := 0; i < n; i++ {
+		s := SampleSwarmSize(rng)
+		if s < 1 {
+			t.Fatalf("swarm size %d < 1", s)
+		}
+		if s > 100 {
+			over100++
+		}
+	}
+	pct := 100 * float64(over100) / n
+	// Calibrated to the paper's 0.72%.
+	if pct < 0.5 || pct > 1.0 {
+		t.Fatalf("P(>100) = %v%%, want ~0.72", pct)
+	}
+}

@@ -1,0 +1,98 @@
+package itracker
+
+import (
+	"fmt"
+	"sync"
+
+	"p4p/internal/core"
+)
+
+// Integrator aggregates the information of multiple iTrackers behind a
+// single query point — the deployment option of Section 3: "There also
+// can be an integrator that aggregates the information from multiple
+// iTrackers to interact with applications." An appTracker serving a
+// swarm that spans providers asks the integrator instead of tracking
+// every provider portal itself.
+//
+// The integrator holds one trust token per provider and caches each
+// provider's view by engine version.
+type Integrator struct {
+	mu       sync.Mutex
+	trackers map[int]*Server // by ASN
+	tokens   map[int]string
+	cache    map[int]*core.View
+}
+
+// NewIntegrator returns an empty integrator.
+func NewIntegrator() *Integrator {
+	return &Integrator{
+		trackers: map[int]*Server{},
+		tokens:   map[int]string{},
+		cache:    map[int]*core.View{},
+	}
+}
+
+// Register adds a provider's iTracker with the token the integrator is
+// trusted under. Registering the same ASN twice replaces the entry.
+func (in *Integrator) Register(tr *Server, token string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.trackers[tr.ASN()] = tr
+	in.tokens[tr.ASN()] = token
+	delete(in.cache, tr.ASN())
+}
+
+// ASNs lists the registered providers.
+func (in *Integrator) ASNs() []int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]int, 0, len(in.trackers))
+	for asn := range in.trackers {
+		out = append(out, asn)
+	}
+	return out
+}
+
+// ViewForAS returns the current distance view of one provider,
+// refreshing the cache when the provider's prices changed.
+func (in *Integrator) ViewForAS(asn int) (*core.View, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	tr, ok := in.trackers[asn]
+	if !ok {
+		return nil, fmt.Errorf("itracker: no provider registered for AS %d", asn)
+	}
+	if v, ok := in.cache[asn]; ok && v.Version == tr.Engine().Version() {
+		return v, nil
+	}
+	v, err := tr.Distances(in.tokens[asn])
+	if err != nil {
+		return nil, err
+	}
+	in.cache[asn] = v
+	return v, nil
+}
+
+// PolicyForAS returns one provider's usage policy.
+func (in *Integrator) PolicyForAS(asn int) (Policy, error) {
+	in.mu.Lock()
+	tr, ok := in.trackers[asn]
+	token := in.tokens[asn]
+	in.mu.Unlock()
+	if !ok {
+		return Policy{}, fmt.Errorf("itracker: no provider registered for AS %d", asn)
+	}
+	return tr.PolicyFor(token)
+}
+
+// CapabilitiesForAS returns one provider's capabilities.
+func (in *Integrator) CapabilitiesForAS(asn int, kind string) ([]Capability, error) {
+	in.mu.Lock()
+	tr, ok := in.trackers[asn]
+	token := in.tokens[asn]
+	in.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("itracker: no provider registered for AS %d", asn)
+	}
+	return tr.Capabilities(token, kind)
+}

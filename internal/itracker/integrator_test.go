@@ -1,0 +1,101 @@
+package itracker
+
+import (
+	"testing"
+
+	"p4p/internal/core"
+	"p4p/internal/topology"
+)
+
+func twoProviderIntegrator(t *testing.T) (*Integrator, *Server, *Server) {
+	t.Helper()
+	build := func(name string, asn int, tokens ...string) *Server {
+		g := topology.Abilene()
+		r := topology.ComputeRouting(g)
+		e := core.NewEngine(g, r, core.Config{})
+		return New(Config{Name: name, ASN: asn, TrustedTokens: tokens}, e, nil)
+	}
+	a := build("isp-a", 1, "tok-a")
+	b := build("isp-b", 2)
+	in := NewIntegrator()
+	in.Register(a, "tok-a")
+	in.Register(b, "")
+	return in, a, b
+}
+
+func TestIntegratorViews(t *testing.T) {
+	in, a, _ := twoProviderIntegrator(t)
+	v1, err := in.ViewForAS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := in.ViewForAS(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == nil || v2 == nil {
+		t.Fatal("missing views")
+	}
+	// Cached until the provider updates.
+	again, _ := in.ViewForAS(1)
+	if again != v1 {
+		t.Fatal("integrator did not cache the view")
+	}
+	a.ObserveAndUpdate(make([]float64, a.Engine().Graph().NumLinks()))
+	fresh, err := in.ViewForAS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == v1 {
+		t.Fatal("integrator served a stale view after a price update")
+	}
+}
+
+func TestIntegratorUsesTrustTokens(t *testing.T) {
+	// Provider A restricts access; the integrator holds the token, so
+	// queries succeed even though anonymous access would fail.
+	in, a, _ := twoProviderIntegrator(t)
+	if _, err := a.Distances("wrong"); err == nil {
+		t.Fatal("provider should be restricted")
+	}
+	if _, err := in.ViewForAS(1); err != nil {
+		t.Fatalf("integrator query failed: %v", err)
+	}
+}
+
+func TestIntegratorUnknownAS(t *testing.T) {
+	in, _, _ := twoProviderIntegrator(t)
+	if _, err := in.ViewForAS(99); err == nil {
+		t.Fatal("expected error for unknown AS")
+	}
+	if _, err := in.PolicyForAS(99); err == nil {
+		t.Fatal("expected policy error for unknown AS")
+	}
+	if _, err := in.CapabilitiesForAS(99, ""); err == nil {
+		t.Fatal("expected capability error for unknown AS")
+	}
+}
+
+func TestIntegratorPolicyAndCapabilities(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	e := core.NewEngine(g, r, core.Config{})
+	tr := New(Config{
+		Name: "p", ASN: 7,
+		Policy:       Policy{HeavyUsageUtil: 0.9},
+		Capabilities: []Capability{{Kind: "cache", PID: 1, CapacityBps: 1e9}},
+	}, e, nil)
+	in := NewIntegrator()
+	in.Register(tr, "")
+	pol, err := in.PolicyForAS(7)
+	if err != nil || pol.HeavyUsageUtil != 0.9 {
+		t.Fatalf("policy = %+v, %v", pol, err)
+	}
+	caps, err := in.CapabilitiesForAS(7, "cache")
+	if err != nil || len(caps) != 1 {
+		t.Fatalf("capabilities = %+v, %v", caps, err)
+	}
+	if got := in.ASNs(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("ASNs = %v", got)
+	}
+}

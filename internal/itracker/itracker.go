@@ -1,0 +1,212 @@
+// Package itracker assembles the paper's iTracker: the portal a network
+// provider operates to expose the three control-plane interfaces of
+// Section 3 — policy, p4p-distance, and capability — plus the IP-to-PID
+// mapping clients use to locate themselves. It wraps the p-distance
+// engine of internal/core with access control, view caching, and the
+// per-interface data types; internal/portal serves it over HTTP.
+package itracker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"p4p/internal/core"
+	"p4p/internal/topology"
+)
+
+// Policy is the network usage policy exposed by the policy interface.
+// The paper names two examples, both represented here: coarse-grained
+// time-of-day link usage policies, and the near-congestion /
+// heavy-usage thresholds of the Comcast field tests.
+type Policy struct {
+	// TimeOfDay lists links applications should avoid during given
+	// local hours.
+	TimeOfDay []LinkUsagePolicy `json:"time_of_day,omitempty"`
+	// NearCongestionUtil is the utilization above which a link is
+	// considered near congestion (e.g. 0.7).
+	NearCongestionUtil float64 `json:"near_congestion_util,omitempty"`
+	// HeavyUsageUtil is the heavy-usage threshold (e.g. 0.9).
+	HeavyUsageUtil float64 `json:"heavy_usage_util,omitempty"`
+}
+
+// LinkUsagePolicy asks applications to avoid a link during peak hours.
+type LinkUsagePolicy struct {
+	Link      topology.LinkID `json:"link"`
+	AvoidFrom float64         `json:"avoid_from_hour"` // inclusive, [0,24)
+	AvoidTo   float64         `json:"avoid_to_hour"`   // exclusive
+}
+
+// Avoided reports whether the policy asks to avoid the link at the
+// given hour-of-day, handling windows that wrap midnight.
+func (p LinkUsagePolicy) Avoided(hour float64) bool {
+	if p.AvoidFrom <= p.AvoidTo {
+		return hour >= p.AvoidFrom && hour < p.AvoidTo
+	}
+	return hour >= p.AvoidFrom || hour < p.AvoidTo
+}
+
+// Capability is one entry served by the capability interface: an
+// on-demand server or cache a provider offers to accelerate content
+// distribution.
+type Capability struct {
+	Kind        string       `json:"kind"` // "on-demand-server" | "cache"
+	PID         topology.PID `json:"pid"`
+	CapacityBps float64      `json:"capacity_bps"`
+	Restricted  bool         `json:"-"` // served only to trusted callers
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	Name string
+	ASN  int
+	// TrustedTokens, when non-empty, restricts the distance and
+	// capability interfaces to callers presenting one of these tokens
+	// ("a deployment model can be that ISPs restrict access to only
+	// trusted appTrackers").
+	TrustedTokens []string
+	Policy        Policy
+	Capabilities  []Capability
+}
+
+// Server is one provider's iTracker.
+type Server struct {
+	cfg    Config
+	engine *core.Engine
+	pidMap *PIDMap
+
+	mu          sync.Mutex
+	cachedView  *core.View
+	cachedPIDs  []topology.PID
+	cachedVer   int
+	trusted     map[string]bool
+	queryCount  int64
+	updateCount int64
+}
+
+// ErrAccessDenied is returned when a caller lacks a trusted token on a
+// restricted interface.
+var ErrAccessDenied = errors.New("itracker: access denied")
+
+// New builds an iTracker over a p-distance engine and an IP-to-PID map
+// (which may be nil if PID lookup is not served).
+func New(cfg Config, engine *core.Engine, pidMap *PIDMap) *Server {
+	t := &Server{cfg: cfg, engine: engine, pidMap: pidMap, trusted: map[string]bool{}}
+	for _, tok := range cfg.TrustedTokens {
+		t.trusted[tok] = true
+	}
+	return t
+}
+
+// Name returns the iTracker's name.
+func (t *Server) Name() string { return t.cfg.Name }
+
+// ASN returns the AS this iTracker speaks for.
+func (t *Server) ASN() int { return t.cfg.ASN }
+
+// Engine exposes the underlying p-distance engine (provider side only).
+func (t *Server) Engine() *core.Engine { return t.engine }
+
+// authorized reports whether a token may use restricted interfaces.
+func (t *Server) authorized(token string) bool {
+	if len(t.trusted) == 0 {
+		return true // open deployment
+	}
+	return t.trusted[token]
+}
+
+// PolicyFor serves the policy interface.
+func (t *Server) PolicyFor(token string) (Policy, error) {
+	// The policy interface is coarse and public by design.
+	return t.cfg.Policy, nil
+}
+
+// Distances serves the p4p-distance interface: the external view over
+// the externally visible (aggregation) PIDs. Views are cached by engine
+// version so per-client queries never recompute ("Network information
+// should be aggregated and allow caching").
+func (t *Server) Distances(token string) (*core.View, error) {
+	if !t.authorized(token) {
+		return nil, ErrAccessDenied
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queryCount++
+	ver := t.engine.Version()
+	if t.cachedView == nil || t.cachedVer != ver {
+		if t.cachedPIDs == nil {
+			t.cachedPIDs = t.engine.Graph().AggregationPIDs()
+		}
+		t.cachedView = t.engine.Matrix(t.cachedPIDs)
+		t.cachedVer = ver
+	}
+	return t.cachedView, nil
+}
+
+// RankedDistances serves the coarsest form of the interface: per-source
+// rankings instead of raw distances (better privacy, weaker semantics).
+func (t *Server) RankedDistances(token string) (*core.View, error) {
+	v, err := t.Distances(token)
+	if err != nil {
+		return nil, err
+	}
+	return core.RankView(v), nil
+}
+
+// Capabilities serves the capability interface, filtering restricted
+// entries for untrusted callers ("A provider may also conduct access
+// control for some contents").
+func (t *Server) Capabilities(token, kind string) ([]Capability, error) {
+	trusted := t.authorized(token)
+	var out []Capability
+	for _, c := range t.cfg.Capabilities {
+		if kind != "" && c.Kind != kind {
+			continue
+		}
+		if c.Restricted && !trusted {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].PID < out[j].PID
+	})
+	return out, nil
+}
+
+// LookupPID maps a client IP address to its PID and AS number. Clients
+// call this once when they obtain their address.
+func (t *Server) LookupPID(ip net.IP) (topology.PID, int, error) {
+	if t.pidMap == nil {
+		return -1, 0, fmt.Errorf("itracker %s: no PID map configured", t.cfg.Name)
+	}
+	pid, ok := t.pidMap.Lookup(ip)
+	if !ok {
+		return -1, 0, fmt.Errorf("itracker %s: %v not in this network", t.cfg.Name, ip)
+	}
+	return pid, t.cfg.ASN, nil
+}
+
+// ObserveAndUpdate is the provider-side measurement hook: install the
+// latest per-link P4P traffic observation (bits/sec) and run one
+// super-gradient price update.
+func (t *Server) ObserveAndUpdate(linkRateBps []float64) {
+	t.engine.ObserveTraffic(linkRateBps)
+	t.engine.Update()
+	t.mu.Lock()
+	t.updateCount++
+	t.mu.Unlock()
+}
+
+// Stats reports how many distance queries and price updates the
+// iTracker has served (used by the aggregation-granularity ablation).
+func (t *Server) Stats() (queries, updates int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queryCount, t.updateCount
+}

@@ -1,0 +1,90 @@
+package itracker
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"p4p/internal/topology"
+)
+
+// PIDMap maps client IP addresses to PIDs by longest-prefix match,
+// implementing the paper's "A client queries the network ... to map its
+// IP address to its PID and AS number". Mappings may be refreshed
+// (the paper allows dynamic IP-to-PID maps), so the map is safe for
+// concurrent use.
+type PIDMap struct {
+	mu      sync.RWMutex
+	entries []pidEntry // sorted by descending prefix length
+}
+
+type pidEntry struct {
+	net *net.IPNet
+	pid topology.PID
+}
+
+// NewPIDMap returns an empty map.
+func NewPIDMap() *PIDMap { return &PIDMap{} }
+
+// Add registers a CIDR prefix for a PID. It returns an error for
+// malformed CIDRs.
+func (m *PIDMap) Add(cidr string, pid topology.PID) error {
+	_, ipnet, err := net.ParseCIDR(cidr)
+	if err != nil {
+		return fmt.Errorf("itracker: bad CIDR %q: %w", cidr, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = append(m.entries, pidEntry{net: ipnet, pid: pid})
+	sort.SliceStable(m.entries, func(i, j int) bool {
+		li, _ := m.entries[i].net.Mask.Size()
+		lj, _ := m.entries[j].net.Mask.Size()
+		return li > lj // longest prefix first
+	})
+	return nil
+}
+
+// Lookup resolves an IP to its PID by longest-prefix match.
+func (m *PIDMap) Lookup(ip net.IP) (topology.PID, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, e := range m.entries {
+		if e.net.Contains(ip) {
+			return e.pid, true
+		}
+	}
+	return -1, false
+}
+
+// Len reports the number of prefixes.
+func (m *PIDMap) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// SyntheticPIDMap builds a map that assigns one /16 per aggregation PID
+// of a graph under 10.0.0.0/8 — the deterministic addressing scheme the
+// examples and tests use in place of a provider's real provisioning
+// data. PID k owns 10.k.0.0/16 (panics beyond 255 PIDs).
+func SyntheticPIDMap(g *topology.Graph) *PIDMap {
+	m := NewPIDMap()
+	pids := g.AggregationPIDs()
+	if len(pids) > 255 {
+		panic("itracker: synthetic PID map supports at most 255 PIDs")
+	}
+	for _, pid := range pids {
+		cidr := fmt.Sprintf("10.%d.0.0/16", int(pid))
+		if err := m.Add(cidr, pid); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// SyntheticIP returns the i-th client address within a PID's synthetic
+// /16 (10.pid.i/256.i%256).
+func SyntheticIP(pid topology.PID, i int) net.IP {
+	return net.IPv4(10, byte(int(pid)), byte(i/256%256), byte(i%256))
+}

@@ -1,0 +1,256 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Rel: LE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-12) > 1e-6 {
+		t.Fatalf("objective = %v, want 12", s.Objective)
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x <= 8 -> y=2, x=8 gives 22;
+	// but x=8,y=2 => 16+6=22; x=10 violates x<=8, so optimum is x=8,y=2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Maximize:  false,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 8},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Fatalf("objective = %v, want 22", s.Objective)
+	}
+	if math.Abs(s.X[0]-8) > 1e-6 || math.Abs(s.X[1]-2) > 1e-6 {
+		t.Fatalf("x = %v, want [8 2]", s.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + y s.t. x + y == 5, x - y == 1 -> x=3, y=2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{1, -1}, Rel: EQ, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-6 || math.Abs(s.X[1]-2) > 1e-6 {
+		t.Fatalf("x = %v, want [3 2]", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 5},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2 is y - x >= 2. max x s.t. that and y <= 5 -> x=3.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Rel: LE, RHS: -2},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 5},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-6 {
+		t.Fatalf("x = %v, want x[0]=3", s.X)
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate equality rows must not break phase 1.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 4},
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 4},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 3},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-7) > 1e-6 { // x=1, y=3
+		t.Fatalf("objective = %v, want 7", s.Objective)
+	}
+}
+
+func TestMalformedProblems(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Fatal("expected error for zero variables")
+	}
+	if _, err := Solve(&Problem{NumVars: 1, Objective: []float64{1, 2}}); err == nil {
+		t.Fatal("expected error for oversized objective")
+	}
+	p := &Problem{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected error for oversized constraint")
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// Classic 2x3 transportation: supplies (20, 30), demands (10, 25, 15),
+	// costs [[2 3 1], [5 4 8]]. Optimal cost is known: ship s1->d3 15,
+	// s1->d1 5, s2->d1 5, s2->d2 25 => 15*1+5*2+5*5+25*4 = 150.
+	// (Check: alternative s1->d1 10, s1->d3 10... supplies: s1=20.
+	//  s1: d1 5 + d3 15 = 20. s2: d1 5 + d2 25 = 30. Feasible.)
+	vars := func(i, j int) int { return i*3 + j }
+	p := &Problem{NumVars: 6, Maximize: false, Objective: []float64{2, 3, 1, 5, 4, 8}}
+	sup := []float64{20, 30}
+	dem := []float64{10, 25, 15}
+	for i := 0; i < 2; i++ {
+		row := make([]float64, 6)
+		for j := 0; j < 3; j++ {
+			row[vars(i, j)] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: sup[i]})
+	}
+	for j := 0; j < 3; j++ {
+		row := make([]float64, 6)
+		for i := 0; i < 2; i++ {
+			row[vars(i, j)] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: EQ, RHS: dem[j]})
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-150) > 1e-6 {
+		t.Fatalf("objective = %v, want 150", s.Objective)
+	}
+}
+
+// TestRandomFeasibility is a property test: on random LE-only problems
+// with non-negative RHS (always feasible at x=0, bounded by box
+// constraints we add), the solution must satisfy every constraint and be
+// at least as good as any of a set of random feasible points.
+func TestRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func() bool {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := &Problem{NumVars: n, Maximize: true}
+		p.Objective = make([]float64, n)
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 2
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Rel: LE, RHS: rng.Float64() * 10}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = rng.Float64() * 2
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// Box: x_j <= 10 ensures boundedness.
+		for j := 0; j < n; j++ {
+			c := Constraint{Coeffs: make([]float64, n), Rel: LE, RHS: 10}
+			c.Coeffs[j] = 1
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Every constraint satisfied.
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j := range c.Coeffs {
+				lhs += c.Coeffs[j] * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// Objective at least as good as origin (feasible since RHS >= 0).
+		return s.Objective >= -1e-9
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusAndRelationStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+	if Status(7).String() == "" {
+		t.Fatal("unknown status should still render")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" || Relation(9).String() == "" {
+		t.Fatal("Relation strings wrong")
+	}
+}

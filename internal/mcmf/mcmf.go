@@ -1,0 +1,182 @@
+// Package mcmf implements min-cost flow on directed graphs with float64
+// capacities and costs, using successive shortest augmenting paths
+// (Bellman–Ford, which tolerates the negative reduced costs that appear
+// with real-valued data).
+//
+// The P4P reproduction uses it for the upload/download bandwidth-matching
+// optimization of the paper's Section 4 (eqs. 1–7): matching is a
+// transportation problem, so min-cost flow solves it exactly and serves
+// as an independent cross-check of the simplex solver in internal/lp.
+package mcmf
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgeID identifies an edge added with AddEdge.
+type EdgeID int
+
+// Graph is a flow network. Nodes are dense integers [0, n).
+type Graph struct {
+	n     int
+	heads [][]int // adjacency: indices into arcs
+	arcs  []arc   // arcs stored in pairs: forward at 2k, residual at 2k+1
+}
+
+type arc struct {
+	to   int
+	cap  float64
+	cost float64
+}
+
+// New returns an empty flow network on n nodes.
+func New(n int) *Graph {
+	return &Graph{n: n, heads: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge with the given capacity and per-unit cost
+// and returns its ID. Capacity must be non-negative.
+func (g *Graph) AddEdge(from, to int, capacity, cost float64) EdgeID {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("mcmf: edge endpoint out of range: %d->%d (n=%d)", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("mcmf: negative capacity on %d->%d", from, to))
+	}
+	id := EdgeID(len(g.arcs) / 2)
+	g.heads[from] = append(g.heads[from], len(g.arcs))
+	g.arcs = append(g.arcs, arc{to: to, cap: capacity, cost: cost})
+	g.heads[to] = append(g.heads[to], len(g.arcs))
+	g.arcs = append(g.arcs, arc{to: from, cap: 0, cost: -cost})
+	return id
+}
+
+// Flow returns the flow currently routed on the edge (the residual
+// capacity of its reverse arc).
+func (g *Graph) Flow(id EdgeID) float64 { return g.arcs[2*int(id)+1].cap }
+
+// Capacity returns the remaining capacity of the edge.
+func (g *Graph) Capacity(id EdgeID) float64 { return g.arcs[2*int(id)].cap }
+
+const eps = 1e-9
+
+// Run augments flow from s to t along successive cheapest paths until
+// either maxFlow units have been sent or no augmenting path remains. It
+// returns the flow actually sent and its total cost. Pass
+// math.Inf(1) as maxFlow for a full min-cost max-flow.
+func (g *Graph) Run(s, t int, maxFlow float64) (flow, cost float64) {
+	if s == t {
+		return 0, 0
+	}
+	for flow < maxFlow-eps {
+		dist, prevArc := g.bellmanFord(s)
+		if math.IsInf(dist[t], 1) {
+			break
+		}
+		// Bottleneck along the path.
+		push := maxFlow - flow
+		for v := t; v != s; {
+			a := prevArc[v]
+			if g.arcs[a].cap < push {
+				push = g.arcs[a].cap
+			}
+			v = g.arcs[a^1].to
+		}
+		if push <= eps {
+			break
+		}
+		for v := t; v != s; {
+			a := prevArc[v]
+			g.arcs[a].cap -= push
+			g.arcs[a^1].cap += push
+			v = g.arcs[a^1].to
+		}
+		flow += push
+		cost += push * dist[t]
+	}
+	return flow, cost
+}
+
+// MaxFlow computes a min-cost max-flow from s to t.
+func (g *Graph) MaxFlow(s, t int) (flow, cost float64) {
+	return g.Run(s, t, math.Inf(1))
+}
+
+// bellmanFord returns shortest distances by cost in the residual graph
+// and the arc used to reach each node (valid where dist is finite).
+func (g *Graph) bellmanFord(s int) (dist []float64, prevArc []int) {
+	dist = make([]float64, g.n)
+	prevArc = make([]int, g.n)
+	inQueue := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevArc[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	inQueue[s] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for _, ai := range g.heads[u] {
+			a := g.arcs[ai]
+			if a.cap <= eps {
+				continue
+			}
+			nd := dist[u] + a.cost
+			if nd < dist[a.to]-eps {
+				dist[a.to] = nd
+				prevArc[a.to] = ai
+				if !inQueue[a.to] {
+					queue = append(queue, a.to)
+					inQueue[a.to] = true
+				}
+			}
+		}
+	}
+	return dist, prevArc
+}
+
+// Transportation solves the transportation problem directly: supplies[i]
+// units available at sources, demands[j] required at sinks,
+// cost[i][j] per unit (use math.Inf(1) to forbid a lane). It returns the
+// shipment matrix, the total shipped, and the total cost. Total shipped
+// is min(Σsupply, Σdemand) when all lanes are open.
+func Transportation(supplies, demands []float64, cost [][]float64) (ship [][]float64, total, totalCost float64) {
+	ns, nd := len(supplies), len(demands)
+	// Node layout: 0 = source, 1..ns = supply nodes, ns+1..ns+nd = demand
+	// nodes, ns+nd+1 = sink.
+	g := New(ns + nd + 2)
+	src, snk := 0, ns+nd+1
+	laneEdges := make([][]EdgeID, ns)
+	for i := 0; i < ns; i++ {
+		g.AddEdge(src, 1+i, supplies[i], 0)
+		laneEdges[i] = make([]EdgeID, nd)
+		for j := 0; j < nd; j++ {
+			if math.IsInf(cost[i][j], 1) {
+				laneEdges[i][j] = -1
+				continue
+			}
+			laneEdges[i][j] = g.AddEdge(1+i, 1+ns+j, math.Inf(1), cost[i][j])
+		}
+	}
+	for j := 0; j < nd; j++ {
+		g.AddEdge(1+ns+j, snk, demands[j], 0)
+	}
+	total, totalCost = g.MaxFlow(src, snk)
+	ship = make([][]float64, ns)
+	for i := 0; i < ns; i++ {
+		ship[i] = make([]float64, nd)
+		for j := 0; j < nd; j++ {
+			if laneEdges[i][j] >= 0 {
+				ship[i][j] = g.Flow(laneEdges[i][j])
+			}
+		}
+	}
+	return ship, total, totalCost
+}

@@ -1,0 +1,213 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p4p/internal/lp"
+)
+
+func TestSimpleMaxFlow(t *testing.T) {
+	// s(0) -> a(1) -> t(2) with caps 5 and 3: max flow 3.
+	g := New(3)
+	g.AddEdge(0, 1, 5, 1)
+	g.AddEdge(1, 2, 3, 1)
+	flow, cost := g.MaxFlow(0, 2)
+	if math.Abs(flow-3) > 1e-9 {
+		t.Fatalf("flow = %v, want 3", flow)
+	}
+	if math.Abs(cost-6) > 1e-9 {
+		t.Fatalf("cost = %v, want 6", cost)
+	}
+}
+
+func TestPrefersCheaperPath(t *testing.T) {
+	// Two parallel paths s->t: cost 1 cap 2, cost 5 cap 10. Send 5 units.
+	g := New(4)
+	g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(1, 3, 2, 0)
+	g.AddEdge(0, 2, 10, 5)
+	g.AddEdge(2, 3, 10, 0)
+	flow, cost := g.Run(0, 3, 5)
+	if math.Abs(flow-5) > 1e-9 {
+		t.Fatalf("flow = %v, want 5", flow)
+	}
+	// 2 units at cost 1 + 3 units at cost 5 = 17.
+	if math.Abs(cost-17) > 1e-9 {
+		t.Fatalf("cost = %v, want 17", cost)
+	}
+}
+
+func TestRunRespectsTarget(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 10, 2)
+	flow, cost := g.Run(0, 1, 4)
+	if math.Abs(flow-4) > 1e-9 || math.Abs(cost-8) > 1e-9 {
+		t.Fatalf("flow, cost = %v, %v; want 4, 8", flow, cost)
+	}
+	if math.Abs(g.Flow(e)-4) > 1e-9 {
+		t.Fatalf("edge flow = %v, want 4", g.Flow(e))
+	}
+	if math.Abs(g.Capacity(e)-6) > 1e-9 {
+		t.Fatalf("edge residual = %v, want 6", g.Capacity(e))
+	}
+}
+
+func TestSameSourceSink(t *testing.T) {
+	g := New(1)
+	flow, cost := g.MaxFlow(0, 0)
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow, cost = %v, %v; want 0, 0", flow, cost)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(2)
+	flow, cost := g.MaxFlow(0, 1)
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow, cost = %v, %v; want 0, 0", flow, cost)
+	}
+}
+
+func TestNegativeCostRerouting(t *testing.T) {
+	// The residual network must allow rerouting: classic diamond where the
+	// second augmentation partially cancels the first.
+	g := New(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 3)
+	g.AddEdge(1, 2, 1, -2)
+	g.AddEdge(1, 3, 1, 4)
+	g.AddEdge(2, 3, 2, 1)
+	flow, cost := g.MaxFlow(0, 3)
+	if math.Abs(flow-2) > 1e-9 {
+		t.Fatalf("flow = %v, want 2", flow)
+	}
+	// Cheapest routing: 0->1->2->3 (cost 0) and 0->2->3 (cost 4) = 4.
+	if math.Abs(cost-4) > 1e-9 {
+		t.Fatalf("cost = %v, want 4", cost)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(-1, 0, 1, 0) },
+		func() { g.AddEdge(0, 5, 1, 0) },
+		func() { g.AddEdge(0, 1, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTransportationMatchesLP(t *testing.T) {
+	// Cross-check min-cost flow against the simplex solver on random
+	// transportation instances.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		ns := 1 + rng.Intn(4)
+		nd := 1 + rng.Intn(4)
+		sup := make([]float64, ns)
+		dem := make([]float64, nd)
+		cost := make([][]float64, ns)
+		var totalSup, totalDem float64
+		for i := range sup {
+			sup[i] = 1 + float64(rng.Intn(20))
+			totalSup += sup[i]
+		}
+		for j := range dem {
+			dem[j] = 1 + float64(rng.Intn(20))
+			totalDem += dem[j]
+		}
+		for i := range cost {
+			cost[i] = make([]float64, nd)
+			for j := range cost[i] {
+				cost[i][j] = float64(1 + rng.Intn(9))
+			}
+		}
+		ship, total, totalCost := Transportation(sup, dem, cost)
+		wantTotal := math.Min(totalSup, totalDem)
+		if math.Abs(total-wantTotal) > 1e-6 {
+			t.Fatalf("trial %d: shipped %v, want %v", trial, total, wantTotal)
+		}
+		// Feasibility of the shipment matrix.
+		for i := 0; i < ns; i++ {
+			rowSum := 0.0
+			for j := 0; j < nd; j++ {
+				if ship[i][j] < -1e-9 {
+					t.Fatalf("negative shipment")
+				}
+				rowSum += ship[i][j]
+			}
+			if rowSum > sup[i]+1e-6 {
+				t.Fatalf("supply %d exceeded", i)
+			}
+		}
+		for j := 0; j < nd; j++ {
+			colSum := 0.0
+			for i := 0; i < ns; i++ {
+				colSum += ship[i][j]
+			}
+			if colSum > dem[j]+1e-6 {
+				t.Fatalf("demand %d exceeded", j)
+			}
+		}
+		// LP formulation: maximize shipped is fixed at wantTotal; minimize
+		// cost subject to shipping wantTotal.
+		nvar := ns * nd
+		p := &lp.Problem{NumVars: nvar, Maximize: false}
+		p.Objective = make([]float64, nvar)
+		for i := 0; i < ns; i++ {
+			for j := 0; j < nd; j++ {
+				p.Objective[i*nd+j] = cost[i][j]
+			}
+		}
+		for i := 0; i < ns; i++ {
+			row := make([]float64, nvar)
+			for j := 0; j < nd; j++ {
+				row[i*nd+j] = 1
+			}
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: sup[i]})
+		}
+		for j := 0; j < nd; j++ {
+			row := make([]float64, nvar)
+			for i := 0; i < ns; i++ {
+				row[i*nd+j] = 1
+			}
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: dem[j]})
+		}
+		// Total-shipment constraint.
+		all := make([]float64, nvar)
+		for k := range all {
+			all[k] = 1
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: all, Rel: lp.GE, RHS: wantTotal})
+		sol, err := lp.Solve(p)
+		if err != nil || sol.Status != lp.Optimal {
+			t.Fatalf("trial %d: LP failed: %v %v", trial, err, sol)
+		}
+		if math.Abs(sol.Objective-totalCost) > 1e-5 {
+			t.Fatalf("trial %d: LP cost %v != mcmf cost %v", trial, sol.Objective, totalCost)
+		}
+	}
+}
+
+func TestTransportationForbiddenLane(t *testing.T) {
+	sup := []float64{5}
+	dem := []float64{3, 3}
+	cost := [][]float64{{math.Inf(1), 2}}
+	ship, total, totalCost := Transportation(sup, dem, cost)
+	if ship[0][0] != 0 {
+		t.Fatal("forbidden lane carried flow")
+	}
+	if math.Abs(total-3) > 1e-9 || math.Abs(totalCost-6) > 1e-9 {
+		t.Fatalf("total, cost = %v, %v; want 3, 6", total, totalCost)
+	}
+}

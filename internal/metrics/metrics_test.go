@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %v", got)
+	}
+	if got := c.At(1); got != 1.0/3 {
+		t.Fatalf("At(1) = %v", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v", got)
+	}
+	if c.Quantile(0.5) != 2 || c.Quantile(0) != 1 || c.Quantile(1) != 3 {
+		t.Fatal("quantiles wrong")
+	}
+	if c.Mean() != 2 {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+	if c.Min() != 1 || c.Max() != 3 {
+		t.Fatal("extremes wrong")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if !math.IsNaN(c.At(1)) || !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Fatal("empty CDF should be NaN everywhere")
+	}
+	if c.Points(5) != nil {
+		t.Fatal("empty CDF points should be nil")
+	}
+}
+
+// TestCDFMonotone is a property test: At is non-decreasing and Quantile
+// inverts At within sample resolution.
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prop := func() bool {
+		n := 1 + rng.Intn(60)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 50
+		}
+		c := NewCDF(samples)
+		prev := -1.0
+		for x := -150.0; x <= 150; x += 10 {
+			f := c.At(x)
+			if f < prev-1e-12 {
+				return false
+			}
+			prev = f
+		}
+		// Quantile(At(x)) <= x for x at sample points.
+		for _, x := range samples {
+			if c.Quantile(c.At(x)) > x+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(4)
+	if len(pts) != 4 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0][0] != 1 || pts[3][0] != 4 || pts[3][1] != 1 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if Ratio(6, 3) != 2 {
+		t.Fatal("Ratio wrong")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Fatal("Ratio by zero should be +Inf")
+	}
+}
+
+func TestImprovementPercent(t *testing.T) {
+	if got := ImprovementPercent(100, 80); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if got := ImprovementPercent(100, 120); math.Abs(got+20) > 1e-9 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if !math.IsNaN(ImprovementPercent(0, 5)) {
+		t.Fatal("improvement over zero should be NaN")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		3.14159:  "3.142",
+		1e9:      "1.000e+09",
+		0.000001: "1.000e-06",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "NaN" || FormatFloat(math.Inf(1)) != "Inf" {
+		t.Fatal("special values wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", 42.0)
+	out := tbl.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "42") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,257 @@
+package p2psim
+
+import (
+	"math"
+	"sort"
+
+	"p4p/internal/charging"
+	"p4p/internal/topology"
+)
+
+// Metrics accumulates the measurements the paper's evaluation reports:
+// per-client completion times, per-link cumulative P4P traffic (for
+// bottleneck traffic and charging volumes), utilization samples over
+// time, unit bandwidth-distance product, and PID-pair / class-pair
+// traffic matrices for the locality tables.
+type Metrics struct {
+	cfg        *Config
+	linkBytes  []float64
+	samples    []Sample
+	pidBytes   map[[2]topology.PID]float64
+	classBytes map[[2]string]float64
+	bdpSum     float64 // Σ bytes x backbone hops
+	totalBytes float64
+	ledgers    map[topology.LinkID]*charging.Ledger
+}
+
+// LedgerConfig attaches 5-minute volume ledgers to selected links
+// (typically interdomain links under percentile billing). Set on
+// Config via WatchLedgers.
+type LedgerConfig struct {
+	Links       []topology.LinkID
+	IntervalSec float64
+}
+
+// Sample is one utilization snapshot.
+type Sample struct {
+	T float64
+	// MaxUtil is the highest (background + P4P) utilization across
+	// links at time T.
+	MaxUtil float64
+	// MaxLink is the link achieving MaxUtil.
+	MaxLink topology.LinkID
+	// Watch holds the P4P rate (bits/sec) of each Config.WatchLinks
+	// entry at time T.
+	Watch []float64
+}
+
+func (m *Metrics) init(cfg *Config) {
+	m.cfg = cfg
+	m.linkBytes = make([]float64, cfg.Graph.NumLinks())
+	m.pidBytes = map[[2]topology.PID]float64{}
+	m.classBytes = map[[2]string]float64{}
+	m.ledgers = map[topology.LinkID]*charging.Ledger{}
+	if cfg.WatchLedgers != nil {
+		interval := cfg.WatchLedgers.IntervalSec
+		if interval <= 0 {
+			interval = 300
+		}
+		for _, e := range cfg.WatchLedgers.Links {
+			m.ledgers[e] = charging.NewLedger(interval)
+		}
+	}
+}
+
+// flush commits a finished (or settled) flow's accumulated bytes to the
+// aggregates. Ledgers are maintained incrementally in progressFlow
+// because they need the time profile, not just the total.
+func (m *Metrics) flush(s *Sim, f *flow) {
+	bytes := f.moved
+	m.totalBytes += bytes
+	m.bdpSum += bytes * float64(len(f.links))
+	for _, e := range f.links {
+		m.linkBytes[e] += bytes
+	}
+	m.pidBytes[[2]topology.PID{f.u.Spec.PID, f.d.Spec.PID}] += bytes
+	if m.cfg.TrackClassBytes {
+		m.classBytes[[2]string{f.u.Spec.Class, f.d.Spec.Class}] += bytes
+		if f.d.DownBytesByClass != nil {
+			f.d.DownBytesByClass[f.u.Spec.Class] += bytes
+		}
+	}
+}
+
+// sample snapshots link utilizations.
+func (m *Metrics) sample(s *Sim) {
+	smp := Sample{T: s.now}
+	for i, l := range s.cfg.Graph.Links() {
+		u := (s.bgBytesPS[i] + s.linkRate[i]) * 8 / l.CapacityBps
+		if u > smp.MaxUtil {
+			smp.MaxUtil = u
+			smp.MaxLink = topology.LinkID(i)
+		}
+	}
+	for _, e := range s.cfg.WatchLinks {
+		smp.Watch = append(smp.Watch, s.linkRate[e]*8)
+	}
+	m.samples = append(m.samples, smp)
+}
+
+// ClientStat is the per-client summary exposed in results.
+type ClientStat struct {
+	ID          int
+	PID         topology.PID
+	ASN         int
+	Class       string
+	JoinAt      float64
+	Done        bool
+	DoneAt      float64
+	IsSeed      bool
+	DownByClass map[string]float64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Duration   float64
+	Clients    []ClientStat
+	LinkBytes  []float64
+	Samples    []Sample
+	TotalBytes float64
+	// UnitBDP is Σ(bytes x backbone hops) / Σ bytes: the average number
+	// of backbone links a unit of P2P traffic traverses (Figure 12a).
+	UnitBDP float64
+	// PIDBytes is the PID-pair traffic matrix.
+	PIDBytes map[[2]topology.PID]float64
+	// ClassBytes is the access-class-pair traffic matrix (uploader,
+	// downloader), populated when TrackClassBytes is set.
+	ClassBytes map[[2]string]float64
+	// Ledgers holds per-link interval volume ledgers for links listed
+	// in Config.WatchLedgers.
+	Ledgers map[topology.LinkID]*charging.Ledger
+
+	graph *topology.Graph
+}
+
+func (m *Metrics) result(s *Sim) *Result {
+	r := &Result{
+		Duration:   s.now,
+		LinkBytes:  m.linkBytes,
+		Samples:    m.samples,
+		TotalBytes: m.totalBytes,
+		PIDBytes:   m.pidBytes,
+		ClassBytes: m.classBytes,
+		Ledgers:    m.ledgers,
+		graph:      s.cfg.Graph,
+	}
+	if m.totalBytes > 0 {
+		r.UnitBDP = m.bdpSum / m.totalBytes
+	}
+	for _, c := range s.clients {
+		r.Clients = append(r.Clients, ClientStat{
+			ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN, Class: c.Spec.Class,
+			JoinAt: c.Spec.JoinAt, Done: c.done, DoneAt: c.doneAt,
+			IsSeed: c.Spec.IsSeed, DownByClass: c.DownBytesByClass,
+		})
+	}
+	return r
+}
+
+// CompletionTimes returns the relative completion times (done - join)
+// of all completed non-seed clients, sorted ascending.
+func (r *Result) CompletionTimes() []float64 {
+	var out []float64
+	for _, c := range r.Clients {
+		if c.IsSeed || !c.Done {
+			continue
+		}
+		out = append(out, c.DoneAt-c.JoinAt)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MeanCompletionTime averages CompletionTimes (NaN when empty).
+func (r *Result) MeanCompletionTime() float64 {
+	ct := r.CompletionTimes()
+	if len(ct) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range ct {
+		sum += v
+	}
+	return sum / float64(len(ct))
+}
+
+// SwarmCompletionTime is the paper's "completion time" metric: the
+// total time for the whole swarm to finish (the max relative time).
+func (r *Result) SwarmCompletionTime() float64 {
+	ct := r.CompletionTimes()
+	if len(ct) == 0 {
+		return math.NaN()
+	}
+	return ct[len(ct)-1]
+}
+
+// BottleneckTraffic returns the link carrying the most cumulative P4P
+// bytes and its volume — the paper's "P2P traffic on top of the most
+// utilized link" metric.
+func (r *Result) BottleneckTraffic() (topology.LinkID, float64) {
+	best, bestV := topology.LinkID(-1), 0.0
+	for i, v := range r.LinkBytes {
+		if v > bestV {
+			best, bestV = topology.LinkID(i), v
+		}
+	}
+	return best, bestV
+}
+
+// PeakUtilization returns the maximum sampled utilization.
+func (r *Result) PeakUtilization() float64 {
+	peak := 0.0
+	for _, s := range r.Samples {
+		if s.MaxUtil > peak {
+			peak = s.MaxUtil
+		}
+	}
+	return peak
+}
+
+// MetroBreakdown splits the PID-pair traffic of PIDs within `asn` into
+// same-metro and cross-metro volumes (Table 3). Intra-PID traffic is
+// same-metro by definition.
+func (r *Result) MetroBreakdown(asn int) (sameMetro, crossMetro float64) {
+	for key, bytes := range r.PIDBytes {
+		src, dst := r.graph.Node(key[0]), r.graph.Node(key[1])
+		if src.ASN != asn || dst.ASN != asn {
+			continue
+		}
+		if src.Metro == dst.Metro {
+			sameMetro += bytes
+		} else {
+			crossMetro += bytes
+		}
+	}
+	return sameMetro, crossMetro
+}
+
+// ASBreakdown aggregates the PID-pair traffic by (source ASN, dest
+// ASN) — the basis of the field test's Table 2.
+func (r *Result) ASBreakdown() map[[2]int]float64 {
+	out := map[[2]int]float64{}
+	for key, bytes := range r.PIDBytes {
+		out[[2]int{r.graph.Node(key[0]).ASN, r.graph.Node(key[1]).ASN}] += bytes
+	}
+	return out
+}
+
+// IntraPIDBytes returns the traffic that never left its PID.
+func (r *Result) IntraPIDBytes() float64 {
+	sum := 0.0
+	for key, bytes := range r.PIDBytes {
+		if key[0] == key[1] {
+			sum += bytes
+		}
+	}
+	return sum
+}

@@ -1,0 +1,884 @@
+// Package p2psim is a discrete-event, session-level simulator for
+// BitTorrent-style P2P swarms over PID-level topologies, following the
+// simulation methodology the paper adopts from Bharambe et al. [3] and
+// Bindal et al. [4]: packet-level behaviour is abstracted away and each
+// active piece transfer is a fluid flow whose rate is the minimum of its
+// two endpoints' fair shares (upload capacity split across active
+// uploads, download capacity across active downloads). Backbone links
+// are accounted (for utilization, bottleneck-traffic, and BDP metrics)
+// but are not rate-limiting, matching the evaluated regimes where access
+// links bound TCP throughput.
+//
+// The simulator models the BitTorrent control plane explicitly: tracker
+// peer selection (pluggable via apptracker.Selector), piece bitfields,
+// local-rarest-first piece selection, periodic tit-for-tat rechoking
+// with optimistic unchoke, and seeding after completion. A streaming
+// mode (Liveswarms) layers a sliding playback window on the same engine.
+package p2psim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"p4p/internal/apptracker"
+	"p4p/internal/topology"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Graph   *topology.Graph
+	Routing *topology.Routing
+	// Selector chooses neighbors at join time; required.
+	Selector apptracker.Selector
+	// Seed drives all randomness.
+	Seed int64
+
+	// PieceBytes is the piece size (default 256 KiB).
+	PieceBytes int64
+	// FileBytes is the shared file size (default 12 MiB).
+	FileBytes int64
+	// NeighborTarget m is how many peers the tracker returns (default 20).
+	NeighborTarget int
+	// UploadSlots is the number of concurrent unchoked peers per client,
+	// including the optimistic slot (default 4).
+	UploadSlots int
+	// RechokeInterval is the tit-for-tat period in seconds (default 10).
+	RechokeInterval float64
+	// ReselectInterval, if positive, makes every client re-query the
+	// tracker periodically and replace idle connections that the fresh
+	// selection no longer includes — the appTracker re-optimization that
+	// lets evolving p-distances steer an already-running swarm.
+	ReselectInterval float64
+	// OptimisticEvery rotates the optimistic unchoke every this many
+	// rechokes (default 3, i.e. 30 s).
+	OptimisticEvery int
+
+	// BackgroundBps holds per-link background traffic (bits/sec) used
+	// for utilization accounting; nil means zero.
+	BackgroundBps []float64
+
+	// MeasureInterval, if positive, invokes OnMeasure with the current
+	// per-link P4P traffic rates (bits/sec) every interval — the hook
+	// that feeds an iTracker's ObserveTraffic/Update loop.
+	MeasureInterval float64
+	OnMeasure       func(now float64, linkRateBps []float64)
+
+	// SampleInterval, if positive, records utilization samples.
+	SampleInterval float64
+	// WatchLinks lists links whose rates are recorded in each sample.
+	WatchLinks []topology.LinkID
+	// WatchLedgers attaches interval volume ledgers to selected links
+	// for percentile-charging analysis.
+	WatchLedgers *LedgerConfig
+
+	// TCPWindowBytes caps each transfer's rate at window/RTT, modelling
+	// window-limited TCP over long paths — the reason "transport layer
+	// connections over low-latency network paths would be more
+	// efficient" (Section 2). RTT is twice the route propagation delay
+	// plus BaseRTTSec. Default 64 KiB (the common 2008-era default
+	// socket buffer); set negative to disable.
+	TCPWindowBytes float64
+	// BaseRTTSec is the fixed RTT floor covering access and processing
+	// delays (default 4 ms).
+	BaseRTTSec float64
+
+	// MaxTime hard-stops the simulation (default 10^7 s).
+	MaxTime float64
+
+	// Streaming, if non-nil, runs the Liveswarms mode instead of file
+	// download: pieces are produced continuously by the source and
+	// clients fetch within a sliding window until MaxTime.
+	Streaming *StreamingConfig
+
+	// TrackClassBytes enables the per-client map of bytes downloaded by
+	// uploader class (used by the FTTP analysis).
+	TrackClassBytes bool
+}
+
+func (c *Config) withDefaults() {
+	if c.PieceBytes == 0 {
+		c.PieceBytes = 256 << 10
+	}
+	if c.FileBytes == 0 {
+		c.FileBytes = 12 << 20
+	}
+	if c.NeighborTarget == 0 {
+		c.NeighborTarget = 20
+	}
+	if c.UploadSlots == 0 {
+		c.UploadSlots = 4
+	}
+	if c.RechokeInterval == 0 {
+		c.RechokeInterval = 10
+	}
+	if c.OptimisticEvery == 0 {
+		c.OptimisticEvery = 3
+	}
+	if c.TCPWindowBytes == 0 {
+		c.TCPWindowBytes = 64 << 10
+	}
+	if c.BaseRTTSec == 0 {
+		c.BaseRTTSec = 0.004
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 1e7
+	}
+}
+
+// ClientSpec describes one client to be added to the swarm.
+type ClientSpec struct {
+	PID     topology.PID
+	ASN     int
+	UpBps   float64
+	DownBps float64
+	JoinAt  float64
+	IsSeed  bool
+	// Class is a free-form access-class label ("fttp", "dsl", ...)
+	// used in per-class traffic breakdowns.
+	Class string
+}
+
+// Client is the simulator's per-peer state.
+type Client struct {
+	ID   int
+	Spec ClientSpec
+
+	upBps, downBps float64 // bytes/sec internally
+
+	has     []bool
+	numHas  int
+	avail   []int // availability of each piece among neighbors
+	pending map[int]bool
+
+	conns  []*conn
+	connOf map[int]*conn // by peer ID
+
+	nUp, nDown int // active transfer counts
+
+	joined     bool
+	done       bool
+	doneAt     float64
+	rechokeNum int
+	optimistic *Client
+
+	// DownBytesByClass accumulates bytes received per uploader class
+	// when Config.TrackClassBytes is set.
+	DownBytesByClass map[string]float64
+}
+
+// Done reports whether the client has completed the file.
+func (c *Client) Done() bool { return c.done }
+
+// DoneAt returns the completion time (absolute simulation seconds).
+func (c *Client) DoneAt() float64 { return c.doneAt }
+
+// CompletionTime returns seconds from join to completion, or NaN.
+func (c *Client) CompletionTime() float64 {
+	if !c.done {
+		return math.NaN()
+	}
+	return c.doneAt - c.Spec.JoinAt
+}
+
+// conn is the state of one (symmetric) neighbor relationship.
+type conn struct {
+	a, b *Client
+	// unchoked[0]: a unchokes b; unchoked[1]: b unchokes a.
+	unchoked [2]bool
+	// flow[0]: transfer a->b; flow[1]: transfer b->a.
+	flow [2]*flow
+	// recv[0]: bytes b sent to a in the current rechoke interval;
+	// recv[1]: bytes a sent to b.
+	recv [2]float64
+}
+
+func (cn *conn) peer(c *Client) *Client {
+	if cn.a == c {
+		return cn.b
+	}
+	return cn.a
+}
+
+// dirIndex returns the index for the direction u -> d in flow/unchoked.
+func (cn *conn) dirIndex(u *Client) int {
+	if cn.a == u {
+		return 0
+	}
+	return 1
+}
+
+type flow struct {
+	u, d      *Client
+	cn        *conn
+	piece     int
+	remaining float64 // bytes
+	rate      float64 // bytes/sec
+	rateCap   float64 // TCP window cap, bytes/sec (+Inf when disabled)
+	lastT     float64
+	links     []topology.LinkID
+	moved     float64           // bytes transferred so far (flushed at teardown)
+	ledgered  []topology.LinkID // links on the path with volume ledgers
+	seq       int
+	active    bool
+}
+
+// Sim is a single swarm simulation. Build with New, add clients, Run.
+type Sim struct {
+	cfg     Config
+	rng     *rand.Rand
+	now     float64
+	events  eventHeap
+	clients []*Client
+	pieces  int
+
+	incomplete int // clients still downloading
+
+	linkRate  []float64 // bytes/sec per backbone link, P4P traffic only
+	bgBytesPS []float64 // background, bytes/sec
+
+	metrics Metrics
+}
+
+// New builds a simulation.
+func New(cfg Config) *Sim {
+	cfg.withDefaults()
+	if cfg.Graph == nil || cfg.Routing == nil {
+		panic("p2psim: Graph and Routing are required")
+	}
+	if cfg.Selector == nil {
+		panic("p2psim: Selector is required")
+	}
+	s := &Sim{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		linkRate: make([]float64, cfg.Graph.NumLinks()),
+	}
+	s.pieces = int((cfg.FileBytes + cfg.PieceBytes - 1) / cfg.PieceBytes)
+	if cfg.Streaming != nil {
+		s.pieces = cfg.Streaming.totalPieces(&cfg)
+	}
+	s.bgBytesPS = make([]float64, cfg.Graph.NumLinks())
+	for i := range s.bgBytesPS {
+		if cfg.BackgroundBps != nil {
+			s.bgBytesPS[i] = cfg.BackgroundBps[i] / 8
+		}
+	}
+	s.metrics.init(&cfg)
+	return s
+}
+
+// AddClient registers a client; call before Run.
+func (s *Sim) AddClient(spec ClientSpec) *Client {
+	if spec.UpBps <= 0 || spec.DownBps <= 0 {
+		panic(fmt.Sprintf("p2psim: non-positive access capacity for client %d", len(s.clients)))
+	}
+	c := &Client{
+		ID:      len(s.clients),
+		Spec:    spec,
+		upBps:   spec.UpBps / 8,
+		downBps: spec.DownBps / 8,
+		has:     make([]bool, s.pieces),
+		avail:   make([]int, s.pieces),
+		pending: map[int]bool{},
+		connOf:  map[int]*conn{},
+	}
+	if s.cfg.TrackClassBytes {
+		c.DownBytesByClass = map[string]float64{}
+	}
+	if spec.IsSeed {
+		for i := range c.has {
+			c.has[i] = true
+		}
+		c.numHas = s.pieces
+		c.done = true
+		c.doneAt = spec.JoinAt
+	}
+	if s.cfg.Streaming != nil && spec.IsSeed {
+		// The streaming source starts with nothing published; pieces
+		// appear over time (see streaming.go).
+		for i := range c.has {
+			c.has[i] = false
+		}
+		c.numHas = 0
+	}
+	s.clients = append(s.clients, c)
+	return c
+}
+
+// Clients returns the registered clients.
+func (s *Sim) Clients() []*Client { return s.clients }
+
+// Graph returns the simulation's topology.
+func (s *Sim) Graph() *topology.Graph { return s.cfg.Graph }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Run executes the simulation to completion (all non-seed clients done)
+// or MaxTime, and returns the collected metrics.
+func (s *Sim) Run() *Result {
+	for _, c := range s.clients {
+		if !c.Spec.IsSeed {
+			s.incomplete++
+		}
+		s.push(event{t: c.Spec.JoinAt, kind: evJoin, client: c})
+	}
+	s.push(event{t: s.cfg.RechokeInterval, kind: evRechoke})
+	if s.cfg.ReselectInterval > 0 {
+		s.push(event{t: s.cfg.ReselectInterval, kind: evReselect})
+	}
+	if s.cfg.MeasureInterval > 0 {
+		s.push(event{t: s.cfg.MeasureInterval, kind: evMeasure})
+	}
+	if s.cfg.SampleInterval > 0 {
+		s.push(event{t: s.cfg.SampleInterval, kind: evSample})
+	}
+	if s.cfg.Streaming != nil {
+		s.cfg.Streaming.schedule(s)
+	}
+
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if ev.t > s.cfg.MaxTime {
+			s.now = s.cfg.MaxTime
+			break
+		}
+		s.now = ev.t
+		switch ev.kind {
+		case evJoin:
+			s.handleJoin(ev.client)
+		case evRechoke:
+			s.handleRechoke()
+		case evFlowFinish:
+			if ev.flow.active && ev.flow.seq == ev.seq {
+				s.handleFlowFinish(ev.flow)
+			}
+		case evMeasure:
+			s.handleMeasure()
+		case evSample:
+			s.handleSample()
+		case evStreamPiece:
+			s.handleStreamPiece(ev.client)
+		case evReselect:
+			s.handleReselect()
+		}
+		if s.incomplete == 0 && s.cfg.Streaming == nil {
+			break
+		}
+	}
+	// Final flow settlement for accurate byte accounting.
+	for _, c := range s.clients {
+		for _, cn := range c.conns {
+			for dir := 0; dir < 2; dir++ {
+				if f := cn.flow[dir]; f != nil && f.active && f.u == c {
+					s.progressFlow(f)
+					s.flushFlow(f)
+				}
+			}
+		}
+	}
+	return s.metrics.result(s)
+}
+
+// --- events ---
+
+const (
+	evJoin = iota
+	evRechoke
+	evFlowFinish
+	evMeasure
+	evSample
+	evStreamPiece
+	evReselect
+)
+
+type event struct {
+	t      float64
+	kind   int
+	client *Client
+	flow   *flow
+	seq    int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].kind < h[j].kind
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (s *Sim) push(ev event) { heap.Push(&s.events, ev) }
+
+// --- join and neighbor management ---
+
+func (s *Sim) handleJoin(c *Client) {
+	c.joined = true
+	// Tracker query: candidates are all currently joined clients.
+	var candidates []apptracker.Node
+	var candClients []*Client
+	for _, o := range s.clients {
+		if o.joined && o != c {
+			candidates = append(candidates, apptracker.Node{ID: o.ID, PID: o.Spec.PID, ASN: o.Spec.ASN})
+			candClients = append(candClients, o)
+		}
+	}
+	self := apptracker.Node{ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN}
+	sel := s.cfg.Selector.Select(self, candidates, s.cfg.NeighborTarget, s.rng)
+	for _, idx := range sel {
+		s.connect(c, candClients[idx])
+	}
+	// Newly joined clients try to attract an unchoke at the very next
+	// rechoke; nothing to start yet (no pieces, not unchoked).
+	// A seed joining late can immediately serve: rechoke handles it.
+}
+
+// connect establishes a symmetric neighbor relationship.
+func (s *Sim) connect(a, b *Client) {
+	if a == b {
+		return
+	}
+	if _, dup := a.connOf[b.ID]; dup {
+		return
+	}
+	cn := &conn{a: a, b: b}
+	a.conns = append(a.conns, cn)
+	b.conns = append(b.conns, cn)
+	a.connOf[b.ID] = cn
+	b.connOf[a.ID] = cn
+	// Availability bookkeeping.
+	for p := 0; p < s.pieces; p++ {
+		if b.has[p] {
+			a.avail[p]++
+		}
+		if a.has[p] {
+			b.avail[p]++
+		}
+	}
+}
+
+// interestedIn reports whether d wants data from u.
+func interestedIn(d, u *Client) bool {
+	if d.done {
+		return false
+	}
+	for p := range u.has {
+		if u.has[p] && !d.has[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// handleReselect re-runs tracker selection for every joined client and
+// swaps out idle connections that the fresh selection dropped.
+func (s *Sim) handleReselect() {
+	for _, c := range s.clients {
+		if !c.joined || c.Spec.IsSeed {
+			continue
+		}
+		s.reselectClient(c)
+	}
+	if s.incomplete > 0 || s.cfg.Streaming != nil {
+		s.push(event{t: s.now + s.cfg.ReselectInterval, kind: evReselect})
+	}
+}
+
+func (s *Sim) reselectClient(c *Client) {
+	var candidates []apptracker.Node
+	var candClients []*Client
+	for _, o := range s.clients {
+		if o.joined && o != c {
+			candidates = append(candidates, apptracker.Node{ID: o.ID, PID: o.Spec.PID, ASN: o.Spec.ASN})
+			candClients = append(candClients, o)
+		}
+	}
+	self := apptracker.Node{ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN}
+	sel := s.cfg.Selector.Select(self, candidates, s.cfg.NeighborTarget, s.rng)
+	want := map[int]bool{}
+	for _, idx := range sel {
+		want[candClients[idx].ID] = true
+	}
+	// Drop idle connections the fresh selection no longer includes.
+	for _, cn := range append([]*conn(nil), c.conns...) {
+		p := cn.peer(c)
+		if want[p.ID] || cn.flow[0] != nil || cn.flow[1] != nil {
+			continue
+		}
+		s.disconnect(cn)
+	}
+	// Connect the newly selected peers (connect dedupes).
+	for _, idx := range sel {
+		s.connect(c, candClients[idx])
+	}
+}
+
+// disconnect tears down an idle neighbor relationship.
+func (s *Sim) disconnect(cn *conn) {
+	if cn.flow[0] != nil || cn.flow[1] != nil {
+		panic("p2psim: disconnect with active flow")
+	}
+	for _, c := range []*Client{cn.a, cn.b} {
+		p := cn.peer(c)
+		for i, x := range c.conns {
+			if x == cn {
+				c.conns = append(c.conns[:i], c.conns[i+1:]...)
+				break
+			}
+		}
+		delete(c.connOf, p.ID)
+		for piece := 0; piece < s.pieces; piece++ {
+			if p.has[piece] {
+				c.avail[piece]--
+			}
+		}
+	}
+	if cn.a.optimistic == cn.b {
+		cn.a.optimistic = nil
+	}
+	if cn.b.optimistic == cn.a {
+		cn.b.optimistic = nil
+	}
+}
+
+// --- rechoke ---
+
+func (s *Sim) handleRechoke() {
+	for _, u := range s.clients {
+		if u.joined {
+			s.rechokeClient(u)
+		}
+	}
+	// Reset interval byte counters.
+	for _, c := range s.clients {
+		for _, cn := range c.conns {
+			if cn.a == c { // visit each conn once
+				cn.recv[0], cn.recv[1] = 0, 0
+			}
+		}
+	}
+	if s.incomplete > 0 || s.cfg.Streaming != nil {
+		s.push(event{t: s.now + s.cfg.RechokeInterval, kind: evRechoke})
+	}
+}
+
+// rechokeClient re-evaluates u's unchoke set: top (slots-1) interested
+// peers by bytes they sent us during the last interval (random for
+// seeds), plus one optimistic slot rotated every OptimisticEvery
+// rechokes.
+func (s *Sim) rechokeClient(u *Client) {
+	u.rechokeNum++
+	type cand struct {
+		cn    *conn
+		peer  *Client
+		score float64
+	}
+	var interested []cand
+	for _, cn := range u.conns {
+		p := cn.peer(u)
+		if !p.joined || !interestedIn(p, u) {
+			continue
+		}
+		// Tit-for-tat: bytes p uploaded to u during the last interval.
+		score := cn.recv[cn.dirIndex(p)]
+		if u.done {
+			// Seeds have no download to reciprocate; randomize.
+			score = s.rng.Float64()
+		}
+		interested = append(interested, cand{cn, p, score})
+	}
+	sort.SliceStable(interested, func(i, j int) bool {
+		if interested[i].score != interested[j].score {
+			return interested[i].score > interested[j].score
+		}
+		return interested[i].peer.ID < interested[j].peer.ID
+	})
+	regular := s.cfg.UploadSlots - 1
+	if regular < 0 {
+		regular = 0
+	}
+	newSet := map[*Client]bool{}
+	for i := 0; i < len(interested) && i < regular; i++ {
+		newSet[interested[i].peer] = true
+	}
+	// Optimistic slot.
+	rotate := u.optimistic == nil || !interestedIn(u.optimistic, u) ||
+		u.rechokeNum%s.cfg.OptimisticEvery == 0
+	if rotate {
+		var pool []*Client
+		for _, c := range interested {
+			if !newSet[c.peer] {
+				pool = append(pool, c.peer)
+			}
+		}
+		if len(pool) > 0 {
+			u.optimistic = pool[s.rng.Intn(len(pool))]
+		} else {
+			u.optimistic = nil
+		}
+	}
+	if u.optimistic != nil && !newSet[u.optimistic] && interestedIn(u.optimistic, u) {
+		newSet[u.optimistic] = true
+	}
+	// Apply: choke removed peers (in-flight pieces finish), unchoke new.
+	for _, cn := range u.conns {
+		p := cn.peer(u)
+		dir := cn.dirIndex(u)
+		was := cn.unchoked[dir]
+		cn.unchoked[dir] = newSet[p]
+		if !was && cn.unchoked[dir] {
+			s.tryStart(u, p)
+		}
+	}
+}
+
+// --- transfers ---
+
+// tryStart begins a transfer u->d if u unchokes d, the connection is
+// idle in that direction, and d wants a piece u has (rarest-first).
+func (s *Sim) tryStart(u, d *Client) {
+	cn := u.connOf[d.ID]
+	if cn == nil || d.done || !d.joined || !u.joined {
+		return
+	}
+	dir := cn.dirIndex(u)
+	if !cn.unchoked[dir] || cn.flow[dir] != nil {
+		return
+	}
+	piece := s.pickPiece(u, d)
+	if piece < 0 {
+		return
+	}
+	f := &flow{
+		u: u, d: d, cn: cn, piece: piece,
+		remaining: float64(s.cfg.PieceBytes),
+		rateCap:   math.Inf(1),
+		lastT:     s.now,
+		active:    true,
+	}
+	if u.Spec.PID != d.Spec.PID {
+		f.links = s.cfg.Routing.Path(u.Spec.PID, d.Spec.PID)
+	}
+	if s.cfg.TCPWindowBytes > 0 {
+		rtt := s.cfg.BaseRTTSec + 2*s.cfg.Routing.PropagationDelaySeconds(u.Spec.PID, d.Spec.PID)
+		f.rateCap = s.cfg.TCPWindowBytes / rtt
+	}
+	for _, e := range f.links {
+		if _, ok := s.metrics.ledgers[e]; ok {
+			f.ledgered = append(f.ledgered, e)
+		}
+	}
+	cn.flow[dir] = f
+	d.pending[piece] = true
+	u.nUp++
+	d.nDown++
+	s.ratesChanged(u, d)
+}
+
+// pickPiece chooses the locally-rarest piece that u has, d lacks, and d
+// is not already fetching; ties break uniformly at random. Streaming
+// mode instead fetches in order within the playback window.
+func (s *Sim) pickPiece(u, d *Client) int {
+	if s.cfg.Streaming != nil {
+		return s.pickStreamPiece(u, d)
+	}
+	best, bestAvail, count := -1, math.MaxInt32, 0
+	for p := 0; p < s.pieces; p++ {
+		if !u.has[p] || d.has[p] || d.pending[p] {
+			continue
+		}
+		a := d.avail[p]
+		switch {
+		case a < bestAvail:
+			best, bestAvail, count = p, a, 1
+		case a == bestAvail:
+			count++
+			if s.rng.Intn(count) == 0 {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// progressFlow advances a flow's byte accounting to the current time.
+// Cheap counters update here; per-PID and per-class aggregates flush
+// once at flow teardown (flushFlow) to keep the hot path map-free.
+func (s *Sim) progressFlow(f *flow) {
+	dt := s.now - f.lastT
+	if dt > 0 && f.rate > 0 {
+		bytes := f.rate * dt
+		if bytes > f.remaining {
+			bytes = f.remaining
+		}
+		f.remaining -= bytes
+		f.moved += bytes
+		f.cn.recv[f.cn.dirIndex(f.d)] += bytes
+		for _, e := range f.ledgered {
+			s.metrics.ledgers[e].AddSpread(f.lastT, s.now, bytes)
+		}
+	}
+	f.lastT = s.now
+}
+
+// flushFlow commits a flow's accumulated bytes to the aggregate
+// metrics. Call exactly once, after the final progressFlow.
+func (s *Sim) flushFlow(f *flow) {
+	if f.moved == 0 {
+		return
+	}
+	s.metrics.flush(s, f)
+	f.moved = 0
+}
+
+// ratesChanged recomputes the rates of all flows incident to the given
+// endpoints (their fair shares changed) and reschedules finish events.
+func (s *Sim) ratesChanged(endpoints ...*Client) {
+	touched := map[*flow]bool{}
+	for _, c := range endpoints {
+		for _, cn := range c.conns {
+			for dir := 0; dir < 2; dir++ {
+				if f := cn.flow[dir]; f != nil && f.active {
+					touched[f] = true
+				}
+			}
+		}
+	}
+	// Deterministic iteration: collect and sort by endpoint IDs.
+	flows := make([]*flow, 0, len(touched))
+	for f := range touched {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].u.ID != flows[j].u.ID {
+			return flows[i].u.ID < flows[j].u.ID
+		}
+		return flows[i].d.ID < flows[j].d.ID
+	})
+	for _, f := range flows {
+		newRate := flowRate(f)
+		if newRate == f.rate {
+			// Unchanged rate: the previously scheduled finish event is
+			// still exact; skip the reschedule and the progress flush.
+			continue
+		}
+		s.progressFlow(f)
+		s.applyRate(f, newRate)
+		s.scheduleFinish(f)
+	}
+}
+
+// flowRate is the session-level TCP model of [3]/[4]: the transfer gets
+// the minimum of the uploader's and downloader's per-connection fair
+// shares, additionally capped by the window/RTT limit of the path.
+func flowRate(f *flow) float64 {
+	up := f.u.upBps / float64(f.u.nUp)
+	down := f.d.downBps / float64(f.d.nDown)
+	return math.Min(f.rateCap, math.Min(up, down))
+}
+
+// applyRate updates the flow's rate and the per-link rate accounting.
+func (s *Sim) applyRate(f *flow, rate float64) {
+	delta := rate - f.rate
+	for _, e := range f.links {
+		s.linkRate[e] += delta
+	}
+	f.rate = rate
+}
+
+func (s *Sim) scheduleFinish(f *flow) {
+	f.seq++
+	if f.rate <= 0 {
+		return // re-armed when a rate change occurs
+	}
+	t := s.now + f.remaining/f.rate
+	s.push(event{t: t, kind: evFlowFinish, flow: f, seq: f.seq})
+}
+
+func (s *Sim) handleFlowFinish(f *flow) {
+	s.progressFlow(f)
+	if f.remaining > 1e-6 {
+		// Rate changed since scheduling; progress and re-arm.
+		s.scheduleFinish(f)
+		return
+	}
+	u, d := f.u, f.d
+	// Tear down the flow.
+	f.active = false
+	s.flushFlow(f)
+	s.applyRate(f, 0)
+	dir := f.cn.dirIndex(u)
+	f.cn.flow[dir] = nil
+	u.nUp--
+	d.nDown--
+	delete(d.pending, f.piece)
+	// The downloader gains the piece.
+	if !d.has[f.piece] {
+		d.has[f.piece] = true
+		d.numHas++
+		for _, cn := range d.conns {
+			cn.peer(d).avail[f.piece]++
+		}
+		if d.numHas == s.pieces && !d.done {
+			d.done = true
+			d.doneAt = s.now
+			s.incomplete--
+		}
+	}
+	s.ratesChanged(u, d)
+	// Continue on this connection and wake up d's other connections:
+	// the new piece may unblock transfers in both roles.
+	s.tryStart(u, d)
+	for _, cn := range d.conns {
+		p := cn.peer(d)
+		if cn.unchoked[cn.dirIndex(d)] {
+			s.tryStart(d, p)
+		}
+		if cn.unchoked[cn.dirIndex(p)] {
+			s.tryStart(p, d)
+		}
+	}
+	// u's freed upload slot may serve another pending unchoked peer.
+	for _, cn := range u.conns {
+		p := cn.peer(u)
+		if cn.unchoked[cn.dirIndex(u)] {
+			s.tryStart(u, p)
+		}
+	}
+}
+
+// --- measurement hooks ---
+
+func (s *Sim) handleMeasure() {
+	if s.cfg.OnMeasure != nil {
+		rates := make([]float64, len(s.linkRate))
+		for i, r := range s.linkRate {
+			rates[i] = r * 8 // bytes/sec -> bits/sec
+		}
+		s.cfg.OnMeasure(s.now, rates)
+	}
+	if s.incomplete > 0 || s.cfg.Streaming != nil {
+		s.push(event{t: s.now + s.cfg.MeasureInterval, kind: evMeasure})
+	}
+}
+
+func (s *Sim) handleSample() {
+	s.metrics.sample(s)
+	if s.incomplete > 0 || s.cfg.Streaming != nil {
+		s.push(event{t: s.now + s.cfg.SampleInterval, kind: evSample})
+	}
+}

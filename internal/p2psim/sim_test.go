@@ -1,0 +1,463 @@
+package p2psim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p4p/internal/apptracker"
+	"p4p/internal/topology"
+)
+
+// buildSwarm sets up a simulation on Abilene with one seed and n
+// leechers spread round-robin across PIDs.
+func buildSwarm(t *testing.T, sel apptracker.Selector, n int, seed int64, mutate func(*Config)) (*Sim, *topology.Graph) {
+	t.Helper()
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	cfg := Config{
+		Graph:     g,
+		Routing:   r,
+		Selector:  sel,
+		Seed:      seed,
+		FileBytes: 4 << 20, // small file keeps tests fast
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg)
+	pids := g.AggregationPIDs()
+	s.AddClient(ClientSpec{PID: pids[0], ASN: 11537, UpBps: 10e6, DownBps: 10e6, IsSeed: true})
+	for i := 0; i < n; i++ {
+		s.AddClient(ClientSpec{
+			PID:     pids[i%len(pids)],
+			ASN:     11537,
+			UpBps:   5e6,
+			DownBps: 20e6,
+			JoinAt:  float64(i) * 2,
+		})
+	}
+	return s, g
+}
+
+func TestSwarmCompletes(t *testing.T) {
+	s, _ := buildSwarm(t, apptracker.Random{}, 20, 1, nil)
+	res := s.Run()
+	ct := res.CompletionTimes()
+	if len(ct) != 20 {
+		t.Fatalf("%d clients completed, want 20", len(ct))
+	}
+	for _, v := range ct {
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("bad completion time %v", v)
+		}
+	}
+	if res.SwarmCompletionTime() < res.MeanCompletionTime() {
+		t.Fatal("max completion below mean")
+	}
+}
+
+func TestByteConservation(t *testing.T) {
+	const n = 15
+	s, _ := buildSwarm(t, apptracker.Random{}, n, 2, nil)
+	res := s.Run()
+	want := float64(n) * float64(4<<20)
+	if math.Abs(res.TotalBytes-want) > 1 {
+		t.Fatalf("TotalBytes = %v, want %v", res.TotalBytes, want)
+	}
+	// PID-pair matrix must sum to the same total.
+	pidSum := 0.0
+	for _, v := range res.PIDBytes {
+		pidSum += v
+	}
+	if math.Abs(pidSum-want) > 1 {
+		t.Fatalf("PIDBytes sum = %v, want %v", pidSum, want)
+	}
+	// Per-link bytes must equal UnitBDP x total (each byte counted once
+	// per backbone hop).
+	linkSum := 0.0
+	for _, v := range res.LinkBytes {
+		linkSum += v
+	}
+	if math.Abs(linkSum-res.UnitBDP*res.TotalBytes) > 1 {
+		t.Fatalf("Σ linkBytes %v != UnitBDP x total %v", linkSum, res.UnitBDP*res.TotalBytes)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	s1, _ := buildSwarm(t, apptracker.Random{}, 12, 7, nil)
+	s2, _ := buildSwarm(t, apptracker.Random{}, 12, 7, nil)
+	r1, r2 := s1.Run(), s2.Run()
+	if r1.TotalBytes != r2.TotalBytes || r1.UnitBDP != r2.UnitBDP {
+		t.Fatal("simulation is not deterministic")
+	}
+	c1, c2 := r1.CompletionTimes(), r2.CompletionTimes()
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("completion times differ between identical runs")
+		}
+	}
+}
+
+func TestSeedVariesOutcome(t *testing.T) {
+	s1, _ := buildSwarm(t, apptracker.Random{}, 12, 7, nil)
+	s2, _ := buildSwarm(t, apptracker.Random{}, 12, 8, nil)
+	r1, r2 := s1.Run(), s2.Run()
+	if r1.UnitBDP == r2.UnitBDP && r1.MeanCompletionTime() == r2.MeanCompletionTime() {
+		t.Fatal("different seeds produced identical outcomes; RNG unused?")
+	}
+}
+
+func TestLocalizedReducesBDP(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	delay := func(a, b apptracker.Node) float64 {
+		return r.PropagationDelaySeconds(a.PID, b.PID)
+	}
+	random, _ := buildSwarm(t, apptracker.Random{}, 30, 3, nil)
+	localized, _ := buildSwarm(t, &apptracker.Localized{Delay: delay}, 30, 3, nil)
+	rr, rl := random.Run(), localized.Run()
+	if rl.UnitBDP >= rr.UnitBDP {
+		t.Fatalf("localized UnitBDP %v not below random %v", rl.UnitBDP, rr.UnitBDP)
+	}
+}
+
+func TestIntraPIDTrafficSkipsBackbone(t *testing.T) {
+	// Everyone in one PID: no backbone traffic at all.
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	s := New(Config{Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 4, FileBytes: 1 << 20})
+	pid := g.AggregationPIDs()[0]
+	s.AddClient(ClientSpec{PID: pid, ASN: 1, UpBps: 10e6, DownBps: 10e6, IsSeed: true})
+	for i := 0; i < 6; i++ {
+		s.AddClient(ClientSpec{PID: pid, ASN: 1, UpBps: 5e6, DownBps: 5e6})
+	}
+	res := s.Run()
+	if res.UnitBDP != 0 {
+		t.Fatalf("intra-PID swarm has UnitBDP %v, want 0", res.UnitBDP)
+	}
+	for i, v := range res.LinkBytes {
+		if v != 0 {
+			t.Fatalf("backbone link %d carried %v bytes", i, v)
+		}
+	}
+	if res.IntraPIDBytes() != res.TotalBytes {
+		t.Fatal("intra-PID bytes should equal total")
+	}
+}
+
+func TestSamplesRecorded(t *testing.T) {
+	s, g := buildSwarm(t, apptracker.Random{}, 10, 5, func(c *Config) {
+		c.SampleInterval = 5
+		c.WatchLinks = []topology.LinkID{0, 1}
+	})
+	_ = g
+	res := s.Run()
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, smp := range res.Samples {
+		if len(smp.Watch) != 2 {
+			t.Fatalf("sample watch size %d", len(smp.Watch))
+		}
+		if smp.MaxUtil < 0 || smp.MaxUtil > 1.5 {
+			t.Fatalf("implausible utilization %v", smp.MaxUtil)
+		}
+	}
+}
+
+func TestMeasureHookFires(t *testing.T) {
+	calls := 0
+	s, _ := buildSwarm(t, apptracker.Random{}, 10, 6, func(c *Config) {
+		c.MeasureInterval = 10
+		c.OnMeasure = func(now float64, rates []float64) {
+			calls++
+			for _, v := range rates {
+				if v < 0 {
+					t.Fatal("negative measured rate")
+				}
+			}
+		}
+	})
+	s.Run()
+	if calls == 0 {
+		t.Fatal("OnMeasure never fired")
+	}
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	pids := g.AggregationPIDs()
+	// Two clients on opposite coasts; ledger on every link of the path.
+	path := r.Path(pids[0], pids[10])
+	s := New(Config{
+		Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 9,
+		FileBytes:    1 << 20,
+		WatchLedgers: &LedgerConfig{Links: path, IntervalSec: 60},
+	})
+	s.AddClient(ClientSpec{PID: pids[0], ASN: 1, UpBps: 10e6, DownBps: 10e6, IsSeed: true})
+	s.AddClient(ClientSpec{PID: pids[10], ASN: 1, UpBps: 5e6, DownBps: 5e6})
+	res := s.Run()
+	led := res.Ledgers[path[0]]
+	if led == nil {
+		t.Fatal("missing ledger")
+	}
+	if math.Abs(led.Total()-float64(1<<20)) > 1 {
+		t.Fatalf("ledger total = %v, want %v", led.Total(), 1<<20)
+	}
+}
+
+func TestClassBytesTracking(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	pids := g.AggregationPIDs()
+	s := New(Config{
+		Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 10,
+		FileBytes: 1 << 20, TrackClassBytes: true,
+	})
+	s.AddClient(ClientSpec{PID: pids[0], ASN: 1, UpBps: 10e6, DownBps: 10e6, IsSeed: true, Class: "seed"})
+	s.AddClient(ClientSpec{PID: pids[1], ASN: 1, UpBps: 50e6, DownBps: 50e6, Class: "fttp"})
+	s.AddClient(ClientSpec{PID: pids[2], ASN: 1, UpBps: 1e6, DownBps: 3e6, Class: "dsl"})
+	res := s.Run()
+	sum := 0.0
+	for _, v := range res.ClassBytes {
+		sum += v
+	}
+	if math.Abs(sum-res.TotalBytes) > 1 {
+		t.Fatalf("class bytes sum %v != total %v", sum, res.TotalBytes)
+	}
+	// Per-client breakdown must add up per client.
+	for _, c := range res.Clients {
+		if c.IsSeed || c.DownByClass == nil {
+			continue
+		}
+		perClient := 0.0
+		for _, v := range c.DownByClass {
+			perClient += v
+		}
+		if c.Done && math.Abs(perClient-float64(1<<20)) > 1 {
+			t.Fatalf("client %d class bytes %v != file size", c.ID, perClient)
+		}
+	}
+}
+
+func TestMaxTimeStops(t *testing.T) {
+	s, _ := buildSwarm(t, apptracker.Random{}, 10, 11, func(c *Config) {
+		c.MaxTime = 5 // far too short to finish
+	})
+	res := s.Run()
+	if res.Duration > 5 {
+		t.Fatalf("sim ran past MaxTime: %v", res.Duration)
+	}
+	if len(res.CompletionTimes()) != 0 {
+		t.Fatal("no client should have finished in 5 s")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	for _, fn := range []func(){
+		func() { New(Config{Routing: r, Selector: apptracker.Random{}}) },
+		func() { New(Config{Graph: g, Routing: r}) },
+		func() {
+			s := New(Config{Graph: g, Routing: r, Selector: apptracker.Random{}})
+			s.AddClient(ClientSpec{UpBps: 0, DownBps: 1})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStreamingDeliversData(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	pids := g.AggregationPIDs()
+	s := New(Config{
+		Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 12,
+		PieceBytes: 64 << 10,
+		MaxTime:    120,
+		Streaming:  &StreamingConfig{RateBps: 400e3, ContentSec: 600, WindowSec: 30},
+	})
+	s.AddClient(ClientSpec{PID: pids[0], ASN: 1, UpBps: 20e6, DownBps: 20e6, IsSeed: true})
+	for i := 0; i < 8; i++ {
+		s.AddClient(ClientSpec{PID: pids[(i+1)%len(pids)], ASN: 1, UpBps: 4e6, DownBps: 4e6})
+	}
+	res := s.Run()
+	if res.Duration < 119 {
+		t.Fatalf("streaming run ended early at %v", res.Duration)
+	}
+	if res.TotalBytes <= 0 {
+		t.Fatal("no streaming bytes delivered")
+	}
+	// Streaming clients never complete.
+	if got := len(res.CompletionTimes()); got != 0 {
+		t.Fatalf("%d streaming clients 'completed'", got)
+	}
+	// Delivered volume cannot exceed published content times receivers.
+	published := res.Duration * 400e3 / 8
+	if res.TotalBytes > published*8*1.01 {
+		t.Fatalf("delivered %v bytes > plausible bound", res.TotalBytes)
+	}
+}
+
+func TestStreamingThroughputNearStreamRate(t *testing.T) {
+	// With ample capacity every client should receive close to the
+	// stream rate once warmed up.
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	pids := g.AggregationPIDs()
+	s := New(Config{
+		Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 13,
+		PieceBytes: 64 << 10,
+		MaxTime:    300,
+		Streaming:  &StreamingConfig{RateBps: 400e3, ContentSec: 600, WindowSec: 60},
+	})
+	s.AddClient(ClientSpec{PID: pids[0], ASN: 1, UpBps: 50e6, DownBps: 50e6, IsSeed: true})
+	const n = 6
+	for i := 0; i < n; i++ {
+		s.AddClient(ClientSpec{PID: pids[(i+1)%len(pids)], ASN: 1, UpBps: 10e6, DownBps: 10e6})
+	}
+	res := s.Run()
+	perClient := res.TotalBytes / n
+	goodput := perClient * 8 / res.Duration
+	if goodput < 0.5*400e3 {
+		t.Fatalf("mean goodput %v bps, want >= half the stream rate", goodput)
+	}
+}
+
+// reselectionSelector switches from random to strictly-local selection
+// partway through the run, so the test can observe connections being
+// replaced.
+type reselectionSelector struct {
+	local bool
+}
+
+func (r *reselectionSelector) Name() string { return "test-switch" }
+
+func (r *reselectionSelector) Select(self apptracker.Node, cands []apptracker.Node, m int, rng *rand.Rand) []int {
+	var out []int
+	// Local candidates first (when enabled), then fill with the rest so
+	// connectivity is preserved.
+	if r.local {
+		for i, c := range cands {
+			if c.ID != self.ID && c.PID == self.PID && len(out) < m {
+				out = append(out, i)
+			}
+		}
+	}
+	for i, c := range cands {
+		if c.ID == self.ID || len(out) >= m {
+			break
+		}
+		dup := false
+		for _, j := range out {
+			if j == i {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestReselectionReplacesConnections(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	sel := &reselectionSelector{}
+	s := New(Config{
+		Graph: g, Routing: r, Selector: sel, Seed: 3,
+		FileBytes:        4 << 20,
+		ReselectInterval: 5,
+		NeighborTarget:   8, // leaves room for cross-PID links after locals
+		MaxTime:          5000,
+	})
+	pids := g.AggregationPIDs()
+	// Two PIDs, with the seed and half the clients at each.
+	s.AddClient(ClientSpec{PID: pids[0], ASN: 1, UpBps: 10e6, DownBps: 10e6, IsSeed: true})
+	for i := 0; i < 10; i++ {
+		s.AddClient(ClientSpec{PID: pids[i%2], ASN: 1, UpBps: 5e6, DownBps: 20e6})
+	}
+	// Local-preferred selection plus periodic reselection: connections
+	// churn as the candidate set grows while the swarm still completes.
+	sel.local = true
+	res := s.Run()
+	if got := len(res.CompletionTimes()); got != 10 {
+		t.Fatalf("%d of 10 clients completed under reselection churn", got)
+	}
+	// Availability bookkeeping survived connect/disconnect cycles.
+	for _, c := range s.Clients() {
+		for p := 0; p < s.pieces; p++ {
+			want := 0
+			for _, cn := range c.conns {
+				if cn.peer(c).has[p] {
+					want++
+				}
+			}
+			if c.avail[p] != want {
+				t.Fatalf("client %d avail[%d] = %d, want %d", c.ID, p, c.avail[p], want)
+			}
+		}
+	}
+}
+
+func TestDisconnectPanicsWithActiveFlow(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	s := New(Config{Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 4})
+	a := s.AddClient(ClientSpec{PID: 0, ASN: 1, UpBps: 1e6, DownBps: 1e6})
+	b := s.AddClient(ClientSpec{PID: 1, ASN: 1, UpBps: 1e6, DownBps: 1e6})
+	s.connect(a, b)
+	cn := a.connOf[b.ID]
+	cn.flow[0] = &flow{} // simulate an in-flight transfer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when disconnecting an active connection")
+		}
+	}()
+	s.disconnect(cn)
+}
+
+func TestTCPWindowCapsLongPaths(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	pids := g.AggregationPIDs()
+	// Seattle -> NewYork spans the country; with a 64 KiB window the
+	// transfer must be far slower than the access rate allows.
+	sttl, _ := g.FindNode("Seattle")
+	nyc, _ := g.FindNode("NewYork")
+	_ = pids
+	run := func(window float64) float64 {
+		s := New(Config{
+			Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 5,
+			FileBytes: 4 << 20, TCPWindowBytes: window,
+		})
+		s.AddClient(ClientSpec{PID: sttl, ASN: 1, UpBps: 1e9, DownBps: 1e9, IsSeed: true})
+		s.AddClient(ClientSpec{PID: nyc, ASN: 1, UpBps: 1e9, DownBps: 1e9})
+		res := s.Run()
+		return res.MeanCompletionTime()
+	}
+	slow := run(64 << 10)
+	fast := run(-1) // disabled
+	if slow <= fast {
+		t.Fatalf("window cap had no effect: capped %v vs uncapped %v", slow, fast)
+	}
+	// Sanity: the extra time should approximate transferring at
+	// window/RTT (both runs share the same rechoke ramp-up).
+	rtt := 0.004 + 2*r.PropagationDelaySeconds(sttl, nyc)
+	wantSec := float64(4<<20) / (float64(64<<10) / rtt)
+	if extra := slow - fast; extra < 0.5*wantSec || extra > 2*wantSec {
+		t.Fatalf("capped transfer took %v s extra, want ~%v s", extra, wantSec)
+	}
+}

@@ -1,0 +1,109 @@
+package p2psim
+
+import "math"
+
+// StreamingConfig switches the simulator into the Liveswarms mode of
+// Section 6.2: a swarm-based streaming application whose clients are
+// "very similar to BitTorrent clients, but with admission control and
+// resource monitoring to accommodate real-time streaming requirements".
+// Sources publish pieces at the stream rate; clients fetch pieces
+// within a sliding playback window; the run ends at Config.MaxTime
+// (the paper streams a 90-minute video but runs each experiment for
+// 20 minutes).
+type StreamingConfig struct {
+	// RateBps is the stream bit rate (default 400 kbit/s).
+	RateBps float64
+	// ContentSec is the content duration in seconds; with RateBps it
+	// determines the total piece count (default 90 minutes).
+	ContentSec float64
+	// WindowSec is the sliding playback window within which clients
+	// request pieces (default 60 s).
+	WindowSec float64
+
+	head int // highest published piece index + 1
+}
+
+func (sc *StreamingConfig) withDefaults() {
+	if sc.RateBps == 0 {
+		sc.RateBps = 400e3
+	}
+	if sc.ContentSec == 0 {
+		sc.ContentSec = 90 * 60
+	}
+	if sc.WindowSec == 0 {
+		sc.WindowSec = 60
+	}
+}
+
+// pieceInterval is the wall-clock spacing between published pieces.
+func (sc *StreamingConfig) pieceInterval(cfg *Config) float64 {
+	return float64(cfg.PieceBytes) * 8 / sc.RateBps
+}
+
+func (sc *StreamingConfig) totalPieces(cfg *Config) int {
+	sc.withDefaults()
+	n := int(math.Ceil(sc.ContentSec * sc.RateBps / 8 / float64(cfg.PieceBytes)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// windowPieces converts the playback window into a piece count.
+func (sc *StreamingConfig) windowPieces(cfg *Config) int {
+	w := int(math.Ceil(sc.WindowSec / sc.pieceInterval(cfg)))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// schedule arms the first publish event on every source (IsSeed) client.
+func (sc *StreamingConfig) schedule(s *Sim) {
+	for _, c := range s.clients {
+		if c.Spec.IsSeed {
+			s.push(event{t: c.Spec.JoinAt, kind: evStreamPiece, client: c})
+		}
+	}
+}
+
+// handleStreamPiece publishes the next piece at a source and pokes its
+// unchoked connections so the fresh data starts flowing.
+func (s *Sim) handleStreamPiece(src *Client) {
+	sc := s.cfg.Streaming
+	if sc.head >= s.pieces {
+		return // content fully published
+	}
+	p := sc.head
+	sc.head++
+	if !src.has[p] {
+		src.has[p] = true
+		src.numHas++
+		for _, cn := range src.conns {
+			cn.peer(src).avail[p]++
+		}
+	}
+	for _, cn := range src.conns {
+		if cn.unchoked[cn.dirIndex(src)] {
+			s.tryStart(src, cn.peer(src))
+		}
+	}
+	s.push(event{t: s.now + sc.pieceInterval(&s.cfg), kind: evStreamPiece, client: src})
+}
+
+// pickStreamPiece selects the earliest missing piece within the sliding
+// window [head-window, head): streaming favours in-order delivery over
+// rarest-first.
+func (s *Sim) pickStreamPiece(u, d *Client) int {
+	sc := s.cfg.Streaming
+	lo := sc.head - sc.windowPieces(&s.cfg)
+	if lo < 0 {
+		lo = 0
+	}
+	for p := lo; p < sc.head; p++ {
+		if u.has[p] && !d.has[p] && !d.pending[p] {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,116 @@
+package portal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+)
+
+// Client talks to one iTracker portal. It is what an appTracker (or a
+// peer in a trackerless system) embeds to consume the P4P interfaces.
+type Client struct {
+	// BaseURL is the portal root, e.g. "http://isp-b.example:8080".
+	BaseURL string
+	// Token is presented on restricted interfaces.
+	Token string
+	// HTTPClient defaults to a client with a 10 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a portal client.
+func NewClient(baseURL, token string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		Token:      token,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) get(path string, query url.Values, out interface{}) error {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("portal: build request: %w", err)
+	}
+	if c.Token != "" {
+		req.Header.Set(tokenHeader, c.Token)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("portal: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("portal: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorWire
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("portal: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("portal: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("portal: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Policy fetches the network usage policy.
+func (c *Client) Policy() (itracker.Policy, error) {
+	var pol itracker.Policy
+	err := c.get("/p4p/v1/policy", nil, &pol)
+	return pol, err
+}
+
+// Distances fetches the raw p-distance view.
+func (c *Client) Distances() (*core.View, error) {
+	var w ViewWire
+	if err := c.get("/p4p/v1/distances", nil, &w); err != nil {
+		return nil, err
+	}
+	return FromWire(&w)
+}
+
+// RankedDistances fetches the coarsened rank view.
+func (c *Client) RankedDistances() (*core.View, error) {
+	var w ViewWire
+	q := url.Values{"form": {"ranks"}}
+	if err := c.get("/p4p/v1/distances", q, &w); err != nil {
+		return nil, err
+	}
+	return FromWire(&w)
+}
+
+// Capabilities fetches provider capabilities, optionally filtered.
+func (c *Client) Capabilities(kind string) ([]itracker.Capability, error) {
+	var caps []itracker.Capability
+	q := url.Values{}
+	if kind != "" {
+		q.Set("kind", kind)
+	}
+	err := c.get("/p4p/v1/capabilities", q, &caps)
+	return caps, err
+}
+
+// LookupPID resolves an IP to PID and ASN.
+func (c *Client) LookupPID(ip net.IP) (PIDLookupWire, error) {
+	var out PIDLookupWire
+	err := c.get("/p4p/v1/pid", url.Values{"ip": {ip.String()}}, &out)
+	return out, err
+}

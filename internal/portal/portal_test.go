@@ -1,0 +1,187 @@
+package portal
+
+import (
+	"math"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/topology"
+)
+
+func newTestPortal(t *testing.T, cfg itracker.Config) (*httptest.Server, *itracker.Server) {
+	t.Helper()
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	e := core.NewEngine(g, r, core.Config{})
+	tr := itracker.New(cfg, e, itracker.SyntheticPIDMap(g))
+	srv := httptest.NewServer(NewHandler(tr))
+	t.Cleanup(srv.Close)
+	return srv, tr
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	v := &core.View{
+		PIDs: []topology.PID{0, 1, 2},
+		D: [][]float64{
+			{0, 1.5, math.Inf(1)},
+			{1.5, 0, 2},
+			{math.Inf(1), 2, 0},
+		},
+		Version: 7,
+	}
+	got, err := FromWire(ToWire(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 7 {
+		t.Fatal("version lost")
+	}
+	for i := range v.D {
+		for j := range v.D[i] {
+			a, b := v.D[i][j], got.D[i][j]
+			if math.IsInf(a, 1) != math.IsInf(b, 1) || (!math.IsInf(a, 1) && a != b) {
+				t.Fatalf("round trip mismatch at (%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestFromWireValidation(t *testing.T) {
+	bad := []*ViewWire{
+		{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, 1}}},
+		{PIDs: []topology.PID{0}, Matrix: [][]float64{{0, 1}}},
+		{PIDs: []topology.PID{0}, Matrix: [][]float64{{-5}}},
+	}
+	for i, w := range bad {
+		if _, err := FromWire(w); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPolicyEndpoint(t *testing.T) {
+	pol := itracker.Policy{NearCongestionUtil: 0.7}
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1, Policy: pol})
+	c := NewClient(srv.URL, "")
+	got, err := c.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NearCongestionUtil != 0.7 {
+		t.Fatalf("policy = %+v", got)
+	}
+}
+
+func TestDistancesEndpoint(t *testing.T) {
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
+	c := NewClient(srv.URL, "")
+	v, err := c.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.PIDs) != 11 {
+		t.Fatalf("view has %d PIDs, want 11", len(v.PIDs))
+	}
+	rv, err := c.RankedDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.D[0][1] < 1 {
+		t.Fatal("rank view malformed")
+	}
+}
+
+func TestDistancesAuth(t *testing.T) {
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1, TrustedTokens: []string{"s3cr3t"}})
+	denied := NewClient(srv.URL, "nope")
+	if _, err := denied.Distances(); err == nil || !strings.Contains(err.Error(), "403") && !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("expected denial, got %v", err)
+	}
+	allowed := NewClient(srv.URL, "s3cr3t")
+	if _, err := allowed.Distances(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapabilitiesEndpoint(t *testing.T) {
+	caps := []itracker.Capability{
+		{Kind: "cache", PID: 3, CapacityBps: 1e9},
+		{Kind: "on-demand-server", PID: 4, CapacityBps: 2e9, Restricted: true},
+	}
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1, TrustedTokens: []string{"tok"}, Capabilities: caps})
+	pub := NewClient(srv.URL, "")
+	got, err := pub.Capabilities("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != "cache" {
+		t.Fatalf("public caps = %+v", got)
+	}
+	trusted := NewClient(srv.URL, "tok")
+	got, err = trusted.Capabilities("on-demand-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].PID != 4 {
+		t.Fatalf("trusted caps = %+v", got)
+	}
+}
+
+func TestPIDEndpoint(t *testing.T) {
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 9})
+	c := NewClient(srv.URL, "")
+	got, err := c.LookupPID(itracker.SyntheticIP(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PID != 5 || got.ASN != 9 {
+		t.Fatalf("lookup = %+v", got)
+	}
+	if _, err := c.LookupPID(net.ParseIP("8.8.8.8")); err == nil {
+		t.Fatal("foreign IP should 404")
+	}
+}
+
+func TestBadForm(t *testing.T) {
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
+	c := NewClient(srv.URL, "")
+	var w ViewWire
+	err := c.get("/p4p/v1/distances", map[string][]string{"form": {"bogus"}}, &w)
+	if err == nil {
+		t.Fatal("expected error for unknown form")
+	}
+}
+
+func TestRegistryDiscovery(t *testing.T) {
+	r := Registry{"isp-b.example": "http://localhost:9999"}
+	url, err := r.Discover("isp-b.example")
+	if err != nil || url != "http://localhost:9999" {
+		t.Fatalf("discover = %q, %v", url, err)
+	}
+	if _, err := r.Discover("unknown.example"); err == nil {
+		t.Fatal("expected discovery failure")
+	}
+}
+
+func TestViewRefreshAfterUpdate(t *testing.T) {
+	srv, tr := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
+	c := NewClient(srv.URL, "")
+	v1, err := c.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, tr.Engine().Graph().NumLinks())
+	loads[0] = 5e9
+	tr.ObserveAndUpdate(loads)
+	v2, err := c.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version == v1.Version {
+		t.Fatal("version did not advance after update")
+	}
+}

@@ -1,0 +1,121 @@
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+
+	"p4p/internal/itracker"
+)
+
+// tokenHeader carries the caller's trust token.
+const tokenHeader = "X-P4P-Token"
+
+// Handler serves one iTracker's interfaces over HTTP:
+//
+//	GET /p4p/v1/policy
+//	GET /p4p/v1/distances[?form=ranks]
+//	GET /p4p/v1/capabilities[?kind=...]
+//	GET /p4p/v1/pid?ip=a.b.c.d
+//
+// All responses are JSON; errors use {"error": "..."} envelopes.
+type Handler struct {
+	Tracker *itracker.Server
+	// Log, if non-nil, receives one line per request.
+	Log *log.Logger
+	mux *http.ServeMux
+}
+
+// NewHandler builds the HTTP handler for an iTracker.
+func NewHandler(tr *itracker.Server) *Handler {
+	h := &Handler{Tracker: tr, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /p4p/v1/policy", h.handlePolicy)
+	h.mux.HandleFunc("GET /p4p/v1/distances", h.handleDistances)
+	h.mux.HandleFunc("GET /p4p/v1/capabilities", h.handleCapabilities)
+	h.mux.HandleFunc("GET /p4p/v1/pid", h.handlePID)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.Log != nil {
+		h.Log.Printf("%s %s from %s", r.Method, r.URL, r.RemoteAddr)
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil && h.Log != nil {
+		h.Log.Printf("encode response: %v", err)
+	}
+}
+
+func (h *Handler) writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, itracker.ErrAccessDenied) {
+		status = http.StatusForbidden
+	}
+	h.writeJSON(w, status, errorWire{Error: err.Error()})
+}
+
+func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	pol, err := h.Tracker.PolicyFor(r.Header.Get(tokenHeader))
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, pol)
+}
+
+func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
+	token := r.Header.Get(tokenHeader)
+	switch r.URL.Query().Get("form") {
+	case "", "raw":
+		v, err := h.Tracker.Distances(token)
+		if err != nil {
+			h.writeErr(w, err)
+			return
+		}
+		h.writeJSON(w, http.StatusOK, ToWire(v))
+	case "ranks":
+		v, err := h.Tracker.RankedDistances(token)
+		if err != nil {
+			h.writeErr(w, err)
+			return
+		}
+		h.writeJSON(w, http.StatusOK, ToWire(v))
+	default:
+		h.writeJSON(w, http.StatusBadRequest, errorWire{Error: "unknown form; use raw or ranks"})
+	}
+}
+
+func (h *Handler) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	caps, err := h.Tracker.Capabilities(r.Header.Get(tokenHeader), r.URL.Query().Get("kind"))
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	if caps == nil {
+		caps = []itracker.Capability{}
+	}
+	h.writeJSON(w, http.StatusOK, caps)
+}
+
+func (h *Handler) handlePID(w http.ResponseWriter, r *http.Request) {
+	ipStr := r.URL.Query().Get("ip")
+	ip := net.ParseIP(ipStr)
+	if ip == nil {
+		h.writeJSON(w, http.StatusBadRequest, errorWire{Error: "missing or malformed ip parameter"})
+		return
+	}
+	pid, asn, err := h.Tracker.LookupPID(ip)
+	if err != nil {
+		h.writeJSON(w, http.StatusNotFound, errorWire{Error: err.Error()})
+		return
+	}
+	h.writeJSON(w, http.StatusOK, PIDLookupWire{PID: pid, ASN: asn})
+}

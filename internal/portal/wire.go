@@ -1,0 +1,95 @@
+// Package portal carries the iTracker interfaces over HTTP+JSON. The
+// paper defines the interfaces in WSDL and serves them with SOAP
+// toolkits; this reproduction keeps the interface semantics — policy,
+// p4p-distance (raw or ranked), capability, and PID lookup — but uses
+// the standard library's net/http and encoding/json (see DESIGN.md,
+// "Substitutions"). It also provides the DNS-SRV-style discovery shim
+// that maps a provider domain to its portal ("one possibility is
+// through DNS query (using DNS SRV with symbolic name p4p)").
+package portal
+
+import (
+	"fmt"
+	"math"
+
+	"p4p/internal/core"
+	"p4p/internal/topology"
+)
+
+// Unreachable is the wire sentinel for an infinite p-distance: JSON has
+// no encoding for +Inf, so unreachable PID pairs are sent as -1.
+const Unreachable = -1
+
+// ViewWire is the JSON form of a distance view.
+type ViewWire struct {
+	PIDs    []topology.PID `json:"pids"`
+	Matrix  [][]float64    `json:"matrix"`
+	Version int            `json:"version"`
+}
+
+// ToWire converts a core.View for transmission.
+func ToWire(v *core.View) *ViewWire {
+	w := &ViewWire{PIDs: append([]topology.PID(nil), v.PIDs...), Version: v.Version}
+	w.Matrix = make([][]float64, len(v.D))
+	for i, row := range v.D {
+		w.Matrix[i] = make([]float64, len(row))
+		for j, d := range row {
+			if math.IsInf(d, 1) {
+				w.Matrix[i][j] = Unreachable
+			} else {
+				w.Matrix[i][j] = d
+			}
+		}
+	}
+	return w
+}
+
+// FromWire converts a received view back to a core.View, restoring
+// infinities and validating shape.
+func FromWire(w *ViewWire) (*core.View, error) {
+	if len(w.Matrix) != len(w.PIDs) {
+		return nil, fmt.Errorf("portal: matrix has %d rows for %d PIDs", len(w.Matrix), len(w.PIDs))
+	}
+	v := &core.View{PIDs: append([]topology.PID(nil), w.PIDs...), Version: w.Version}
+	v.D = make([][]float64, len(w.Matrix))
+	for i, row := range w.Matrix {
+		if len(row) != len(w.PIDs) {
+			return nil, fmt.Errorf("portal: matrix row %d has %d columns for %d PIDs", i, len(row), len(w.PIDs))
+		}
+		v.D[i] = make([]float64, len(row))
+		for j, d := range row {
+			if d == Unreachable {
+				v.D[i][j] = math.Inf(1)
+			} else if d < 0 {
+				return nil, fmt.Errorf("portal: negative distance at (%d,%d)", i, j)
+			} else {
+				v.D[i][j] = d
+			}
+		}
+	}
+	return v, nil
+}
+
+// PIDLookupWire is the JSON response of the PID lookup endpoint.
+type PIDLookupWire struct {
+	PID topology.PID `json:"pid"`
+	ASN int          `json:"asn"`
+}
+
+// errorWire is the JSON error envelope.
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+// Registry is the discovery shim: it plays the role of the DNS SRV
+// record _p4p._tcp.<domain> by mapping provider domains to portal base
+// URLs.
+type Registry map[string]string
+
+// Discover resolves a provider domain to its iTracker base URL.
+func (r Registry) Discover(domain string) (string, error) {
+	if url, ok := r[domain]; ok {
+		return url, nil
+	}
+	return "", fmt.Errorf("portal: no p4p portal registered for domain %q", domain)
+}

@@ -1,0 +1,32 @@
+package topology
+
+import "math"
+
+// earthRadiusKm is the mean Earth radius used for great-circle distances.
+const earthRadiusKm = 6371.0
+
+// GreatCircleKm returns the great-circle distance in kilometres between
+// two (lat, lon) points given in degrees, via the haversine formula.
+func GreatCircleKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const deg = math.Pi / 180
+	phi1, phi2 := lat1*deg, lat2*deg
+	dPhi := (lat2 - lat1) * deg
+	dLam := (lon2 - lon1) * deg
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLam/2)*math.Sin(dLam/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// nodeDistanceKm returns the great-circle distance between two nodes of a
+// graph, falling back to 1 km when coordinates are absent (both zero) so
+// that distance metrics stay positive.
+func nodeDistanceKm(a, b Node) float64 {
+	if a.Lat == 0 && a.Lon == 0 && b.Lat == 0 && b.Lon == 0 {
+		return 1
+	}
+	d := GreatCircleKm(a.Lat, a.Lon, b.Lat, b.Lon)
+	if d < 1 {
+		return 1
+	}
+	return d
+}

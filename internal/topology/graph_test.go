@@ -1,0 +1,170 @@
+package topology
+
+import (
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := NewGraph("t")
+	for i := 0; i < 5; i++ {
+		id := g.AddNode(Node{Name: "n"})
+		if id != PID(i) {
+			t.Fatalf("node %d got PID %d", i, id)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := NewGraph("t")
+	a := g.AddNode(Node{Name: "a"})
+	b := g.AddNode(Node{Name: "b"})
+	mustPanic(t, "out of range", func() {
+		g.AddLink(Link{Src: a, Dst: 99, CapacityBps: 1, Weight: 1})
+	})
+	mustPanic(t, "self loop", func() {
+		g.AddLink(Link{Src: a, Dst: a, CapacityBps: 1, Weight: 1})
+	})
+	mustPanic(t, "zero capacity", func() {
+		g.AddLink(Link{Src: a, Dst: b, CapacityBps: 0, Weight: 1})
+	})
+	mustPanic(t, "zero weight", func() {
+		g.AddLink(Link{Src: a, Dst: b, CapacityBps: 1, Weight: 0})
+	})
+	id := g.AddLink(Link{Src: a, Dst: b, CapacityBps: 1, Weight: 1})
+	if id != 0 {
+		t.Fatalf("first link ID = %d, want 0", id)
+	}
+}
+
+func TestDuplexAdjacency(t *testing.T) {
+	g := NewGraph("t")
+	a := g.AddNode(Node{Name: "a"})
+	b := g.AddNode(Node{Name: "b"})
+	f, r := g.AddDuplex(a, b, 100, 2, 3)
+	if g.Link(f).Src != a || g.Link(f).Dst != b {
+		t.Fatalf("forward link endpoints wrong: %+v", g.Link(f))
+	}
+	if g.Link(r).Src != b || g.Link(r).Dst != a {
+		t.Fatalf("reverse link endpoints wrong: %+v", g.Link(r))
+	}
+	if len(g.OutLinks(a)) != 1 || g.OutLinks(a)[0] != f {
+		t.Fatalf("OutLinks(a) = %v", g.OutLinks(a))
+	}
+	if len(g.InLinks(a)) != 1 || g.InLinks(a)[0] != r {
+		t.Fatalf("InLinks(a) = %v", g.InLinks(a))
+	}
+}
+
+func TestSetLinkPreservesEndpoints(t *testing.T) {
+	g := NewGraph("t")
+	a := g.AddNode(Node{Name: "a"})
+	b := g.AddNode(Node{Name: "b"})
+	c := g.AddNode(Node{Name: "c"})
+	id := g.AddLink(Link{Src: a, Dst: b, CapacityBps: 1, Weight: 1})
+	l := g.Link(id)
+	l.Interdomain = true
+	g.SetLink(l)
+	if !g.Link(id).Interdomain {
+		t.Fatal("SetLink did not persist Interdomain flag")
+	}
+	l.Dst = c
+	mustPanic(t, "endpoint change", func() { g.SetLink(l) })
+}
+
+func TestFindNodeAndLink(t *testing.T) {
+	g := NewGraph("t")
+	a := g.AddNode(Node{Name: "alpha"})
+	b := g.AddNode(Node{Name: "beta"})
+	g.AddDuplex(a, b, 1, 1, 1)
+	if pid, ok := g.FindNode("beta"); !ok || pid != b {
+		t.Fatalf("FindNode(beta) = %d, %v", pid, ok)
+	}
+	if _, ok := g.FindNode("gamma"); ok {
+		t.Fatal("FindNode(gamma) should fail")
+	}
+	if id, ok := g.FindLink(a, b); !ok || g.Link(id).Dst != b {
+		t.Fatalf("FindLink(a,b) = %d, %v", id, ok)
+	}
+	if _, ok := g.FindLink(b, PID(0)); !ok {
+		t.Fatal("FindLink(b,a) should succeed")
+	}
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	g := NewGraph("t")
+	g.AddNode(Node{Name: "a"})
+	g.AddNode(Node{Name: "b"})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected disconnected graph to fail validation")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	g := NewGraph("t")
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected empty graph to fail validation")
+	}
+}
+
+func TestAggregationPIDsFiltersKinds(t *testing.T) {
+	g := NewGraph("t")
+	a := g.AddNode(Node{Name: "a", Kind: Aggregation})
+	g.AddNode(Node{Name: "r", Kind: Core})
+	b := g.AddNode(Node{Name: "b", Kind: Aggregation})
+	g.AddNode(Node{Name: "x", Kind: External})
+	got := g.AggregationPIDs()
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("AggregationPIDs = %v", got)
+	}
+}
+
+func TestMetros(t *testing.T) {
+	g := NewGraph("t")
+	g.AddNode(Node{Name: "a", Metro: "nyc"})
+	g.AddNode(Node{Name: "b", Metro: "chi"})
+	g.AddNode(Node{Name: "c", Metro: "nyc"})
+	g.AddNode(Node{Name: "d"})
+	got := g.Metros()
+	if len(got) != 2 || got[0] != "chi" || got[1] != "nyc" {
+		t.Fatalf("Metros = %v", got)
+	}
+	if g.MetroOf(0) != "nyc" || g.MetroOf(3) != "" {
+		t.Fatal("MetroOf wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Abilene()
+	c := g.Clone()
+	l := c.Link(0)
+	l.Interdomain = true
+	c.SetLink(l)
+	if g.Link(0).Interdomain {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.NumNodes() != g.NumNodes() || c.NumLinks() != g.NumLinks() {
+		t.Fatal("clone dimensions differ")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	cases := map[NodeKind]string{Aggregation: "aggregation", Core: "core", External: "external", NodeKind(9): "NodeKind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("NodeKind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

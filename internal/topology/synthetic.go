@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// The paper evaluates three proprietary PoP-level ISP topologies (Table
+// 1): ISP-A (US, 20 PoPs), ISP-B (US, 52 PoPs, organized in metro areas)
+// and ISP-C (international, 37 PoPs). The real maps are not public, so
+// this file provides deterministic synthetic generators with matching
+// sizes and the structural features the experiments depend on: a meshy
+// long-haul backbone with heterogeneous capacities for ISP-A, a
+// two-level metro/backbone hierarchy for ISP-B, and continent-clustered
+// structure for ISP-C. See DESIGN.md ("Substitutions") for the argument
+// that this preserves the evaluated behaviour.
+
+// SyntheticConfig parameterizes generateGeometric.
+type syntheticConfig struct {
+	name        string
+	asn         int
+	pops        int
+	seed        int64
+	regionLatLo float64
+	regionLatHi float64
+	regionLonLo float64
+	regionLonHi float64
+	degree      int     // nearest-neighbour links per new node
+	chords      int     // extra long-haul chords for redundancy
+	capacityBps float64 // backbone link capacity
+}
+
+// generateGeometric builds a connected random-geometric backbone: PoPs
+// are placed uniformly in a lat/lon box, each new PoP links to its
+// `degree` nearest predecessors (guaranteeing connectivity), and `chords`
+// extra links join the most distant poorly-connected pairs.
+func generateGeometric(cfg syntheticConfig) *Graph {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	g := NewGraph(cfg.name)
+	for i := 0; i < cfg.pops; i++ {
+		g.AddNode(Node{
+			Name: fmt.Sprintf("%s-pop%02d", cfg.name, i),
+			Kind: Aggregation,
+			ASN:  cfg.asn,
+			Lat:  cfg.regionLatLo + rng.Float64()*(cfg.regionLatHi-cfg.regionLatLo),
+			Lon:  cfg.regionLonLo + rng.Float64()*(cfg.regionLonHi-cfg.regionLonLo),
+		})
+	}
+	type cand struct {
+		pid PID
+		d   float64
+	}
+	for i := 1; i < cfg.pops; i++ {
+		var cands []cand
+		for j := 0; j < i; j++ {
+			cands = append(cands, cand{PID(j), nodeDistanceKm(g.Node(PID(i)), g.Node(PID(j)))})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].pid < cands[b].pid
+		})
+		k := cfg.degree
+		if k > len(cands) {
+			k = len(cands)
+		}
+		for _, c := range cands[:k] {
+			d := c.d
+			g.AddDuplex(PID(i), c.pid, cfg.capacityBps, d, d)
+		}
+	}
+	// Redundancy chords between random distinct pairs not yet linked.
+	for added := 0; added < cfg.chords; {
+		a := PID(rng.Intn(cfg.pops))
+		b := PID(rng.Intn(cfg.pops))
+		if a == b {
+			continue
+		}
+		if _, ok := g.FindLink(a, b); ok {
+			continue
+		}
+		d := nodeDistanceKm(g.Node(a), g.Node(b))
+		g.AddDuplex(a, b, cfg.capacityBps, d, d)
+		added++
+	}
+	return g
+}
+
+// ISPA returns the synthetic stand-in for the paper's ISP-A: a US
+// PoP-level network with 20 PoPs (Table 1) and a meshy 10 Gbps backbone.
+func ISPA() *Graph {
+	return generateGeometric(syntheticConfig{
+		name: "ISP-A", asn: 64512, pops: 20, seed: 20080817,
+		regionLatLo: 26, regionLatHi: 48, regionLonLo: -123, regionLonHi: -71,
+		degree: 2, chords: 4, capacityBps: 10e9,
+	})
+}
+
+// ISPB returns the synthetic stand-in for the paper's ISP-B: a US
+// network with 52 PoPs (Table 1) organized as 13 metro areas of 4 PoPs
+// each. In each metro, one hub PoP aggregates three access PoPs over
+// 2.5 Gbps metro links; hubs are joined by a 10 Gbps long-haul backbone.
+// The metro labels drive the field-test localization statistics
+// (Table 3) and the unit-BDP metric (Figure 12a).
+func ISPB() *Graph {
+	const (
+		metros      = 13
+		popsPerArea = 4
+		backbone    = 10e9
+		metroLink   = 2.5e9
+	)
+	rng := rand.New(rand.NewSource(20080221))
+	g := NewGraph("ISP-B")
+	hubs := make([]PID, 0, metros)
+	for m := 0; m < metros; m++ {
+		metro := fmt.Sprintf("metro%02d", m)
+		lat := 26 + rng.Float64()*22
+		lon := -123 + rng.Float64()*52
+		hub := g.AddNode(Node{
+			Name: fmt.Sprintf("ISP-B-%s-hub", metro), Kind: Aggregation,
+			ASN: 64513, Metro: metro, Lat: lat, Lon: lon,
+		})
+		hubs = append(hubs, hub)
+		for p := 1; p < popsPerArea; p++ {
+			// Access PoPs scatter within ~60 km of the hub and home to it
+			// in a star: metro traffic hairpins through the hub, as in a
+			// typical metro aggregation design.
+			pid := g.AddNode(Node{
+				Name: fmt.Sprintf("ISP-B-%s-pop%d", metro, p), Kind: Aggregation,
+				ASN: 64513, Metro: metro,
+				Lat: lat + (rng.Float64() - 0.5), Lon: lon + (rng.Float64() - 0.5),
+			})
+			d := nodeDistanceKm(g.Node(hub), g.Node(pid))
+			g.AddDuplex(hub, pid, metroLink, d, d)
+		}
+	}
+	// Long-haul backbone: a geographic ring over the hubs (sorted by
+	// longitude). This sparse design gives
+	// PID pairs the multi-hop backbone distances of a national carrier
+	// (the paper reports an average of 6.2 backbone links between ISP-B
+	// PID pairs).
+	order := append([]PID(nil), hubs...)
+	sort.Slice(order, func(a, b int) bool {
+		if g.Node(order[a]).Lon != g.Node(order[b]).Lon {
+			return g.Node(order[a]).Lon < g.Node(order[b]).Lon
+		}
+		return order[a] < order[b]
+	})
+	for i := range order {
+		a, b := order[i], order[(i+1)%len(order)]
+		d := nodeDistanceKm(g.Node(a), g.Node(b))
+		g.AddDuplex(a, b, backbone, d, d)
+	}
+	return g
+}
+
+// ISPC returns the synthetic stand-in for the paper's ISP-C: an
+// international network with 37 PoPs (Table 1) clustered on three
+// continents (North America, Europe, Asia) joined by a small number of
+// expensive transoceanic circuits.
+func ISPC() *Graph {
+	rng := rand.New(rand.NewSource(20080302))
+	g := NewGraph("ISP-C")
+	type region struct {
+		name         string
+		pops         int
+		latLo, latHi float64
+		lonLo, lonHi float64
+	}
+	regions := []region{
+		{"na", 15, 26, 48, -123, -71},
+		{"eu", 13, 38, 58, -8, 24},
+		{"as", 9, 1, 40, 100, 140},
+	}
+	var regionPIDs [][]PID
+	for _, rgn := range regions {
+		var pids []PID
+		for i := 0; i < rgn.pops; i++ {
+			pid := g.AddNode(Node{
+				Name: fmt.Sprintf("ISP-C-%s%02d", rgn.name, i), Kind: Aggregation,
+				ASN: 64514, Metro: rgn.name,
+				Lat: rgn.latLo + rng.Float64()*(rgn.latHi-rgn.latLo),
+				Lon: rgn.lonLo + rng.Float64()*(rgn.lonHi-rgn.lonLo),
+			})
+			pids = append(pids, pid)
+			// Nearest-neighbour growth inside the region.
+			if i > 0 {
+				best, bestD := PID(-1), math.Inf(1)
+				second, secondD := PID(-1), math.Inf(1)
+				for _, q := range pids[:i] {
+					d := nodeDistanceKm(g.Node(pid), g.Node(q))
+					if d < bestD {
+						second, secondD = best, bestD
+						best, bestD = q, d
+					} else if d < secondD {
+						second, secondD = q, d
+					}
+				}
+				g.AddDuplex(pid, best, 10e9, bestD, bestD)
+				if second >= 0 && i >= 2 {
+					g.AddDuplex(pid, second, 10e9, secondD, secondD)
+				}
+			}
+		}
+		regionPIDs = append(regionPIDs, pids)
+	}
+	// Transoceanic circuits: two per region pair, 2.5 Gbps, high weight.
+	cross := func(a, b []PID) {
+		for k := 0; k < 2; k++ {
+			u := a[rng.Intn(len(a))]
+			v := b[rng.Intn(len(b))]
+			if _, ok := g.FindLink(u, v); ok {
+				continue
+			}
+			d := nodeDistanceKm(g.Node(u), g.Node(v))
+			g.AddDuplex(u, v, 2.5e9, d, d)
+		}
+	}
+	cross(regionPIDs[0], regionPIDs[1])
+	cross(regionPIDs[1], regionPIDs[2])
+	cross(regionPIDs[0], regionPIDs[2])
+	return g
+}
