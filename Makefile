@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification gate (see ROADMAP.md).
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -5,17 +5,24 @@
 //
 //	POST /select  {"self": {...}, "candidates": [...], "m": 20}
 //
-// returns the chosen candidate indices.
+// returns the chosen candidate indices. GET /stats reports the view
+// cache counters (refreshes, failures, stale serves), which flag when
+// selection is running on a last-known-good view because the portal is
+// unreachable.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"p4p/internal/apptracker"
@@ -33,33 +40,6 @@ type selectResponse struct {
 	Policy  string `json:"policy"`
 }
 
-// portalViews adapts a portal client to the selector's ViewProvider,
-// caching the fetched view for a TTL.
-type portalViews struct {
-	client *portal.Client
-	ttl    time.Duration
-
-	mu      sync.Mutex
-	view    apptracker.DistanceView
-	fetched time.Time
-}
-
-func (p *portalViews) ViewFor(asn int) apptracker.DistanceView {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.view != nil && time.Since(p.fetched) < p.ttl {
-		return p.view
-	}
-	v, err := p.client.Distances()
-	if err != nil {
-		log.Printf("portal query failed (serving stale/nil view): %v", err)
-		return p.view
-	}
-	p.view = v
-	p.fetched = time.Now()
-	return v
-}
-
 func main() {
 	var (
 		listen   = flag.String("listen", ":8081", "HTTP listen address")
@@ -68,10 +48,14 @@ func main() {
 		ttl      = flag.Duration("view-ttl", 30*time.Second, "p-distance view cache TTL")
 		seed     = flag.Int64("seed", time.Now().UnixNano(), "selection RNG seed")
 		mDefault = flag.Int("m", 20, "default peer count per request")
+		retries  = flag.Int("portal-retries", 3, "portal attempts per refresh")
 	)
 	flag.Parse()
 
-	views := &portalViews{client: portal.NewClient(*itrURL, *token), ttl: *ttl}
+	client := portal.NewClient(*itrURL, *token)
+	client.Retry.MaxAttempts = *retries
+	views := apptracker.NewPortalViews(client, *ttl)
+	views.Log = log.New(os.Stderr, "apptracker ", log.LstdFlags)
 	sel := &apptracker.P4P{Views: views}
 	rng := rand.New(rand.NewSource(*seed))
 	var rngMu sync.Mutex
@@ -97,10 +81,37 @@ func main() {
 			log.Printf("encode response: %v", err)
 		}
 	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(views.Stats()); err != nil {
+			log.Printf("encode stats: %v", err)
+		}
+	})
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("appTracker listening on %s, portal %s", *listen, *itrURL)
-	if err := http.ListenAndServe(*listen, mux); err != nil {
+
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
-		os.Exit(1)
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
 	}
 }

@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"p4p/internal/core"
@@ -71,21 +75,51 @@ func main() {
 		},
 	}, engine, itracker.SyntheticPIDMap(g))
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *update > 0 {
 		go func() {
 			zero := make([]float64, g.NumLinks())
-			for range time.Tick(*update) {
-				tr.ObserveAndUpdate(zero)
+			tick := time.NewTicker(*update)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					tr.ObserveAndUpdate(zero)
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 
 	h := portal.NewHandler(tr)
 	h.Log = log.New(os.Stderr, "itracker ", log.LstdFlags)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("iTracker for %s (%d PIDs, %d links) listening on %s",
 		g.Name, g.NumNodes(), g.NumLinks(), *listen)
-	if err := http.ListenAndServe(*listen, h); err != nil {
+
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case <-ctx.Done():
+		// Drain in-flight portal queries before exiting.
+		log.Printf("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,165 @@
+package apptracker
+
+import (
+	"context"
+	"log"
+	"sync"
+	"time"
+
+	"p4p/internal/core"
+)
+
+// ViewFetcher is the slice of the portal client PortalViews needs; the
+// concrete portal.Client satisfies it, and fault-injection tests supply
+// failing/slow/flaky implementations.
+type ViewFetcher interface {
+	DistancesContext(ctx context.Context) (*core.View, error)
+}
+
+// ViewStats counts how the view cache is behaving; appTrackers export
+// it so operators can see when peers are being selected off a stale
+// view (the paper's graceful-degradation mode).
+type ViewStats struct {
+	// Refreshes counts successful portal fetches (including cheap
+	// 304 revalidations inside the client).
+	Refreshes int64 `json:"refreshes"`
+	// Failures counts refresh attempts that exhausted the client's
+	// retries without producing a view.
+	Failures int64 `json:"failures"`
+	// StaleServes counts selections answered from the last-known-good
+	// view after its TTL expired (portal slow or down).
+	StaleServes int64 `json:"stale_serves"`
+	// NilServes counts selections with no view at all (portal down and
+	// never reached); the selector degrades to native random peering.
+	NilServes int64 `json:"nil_serves"`
+}
+
+// PortalViews adapts a portal client to the selector's ViewProvider
+// with the availability behavior the paper's deployment story needs:
+// views are cached for a TTL, refreshed with conditional GET, and when
+// the portal is unreachable the last-known-good view keeps serving
+// (flagged in Stats) instead of failing the selection — "applications
+// can make default decisions without the iTracker".
+//
+// Refreshes are singleflight: the first caller past the TTL performs
+// the fetch while concurrent callers are answered immediately from the
+// previous view, so a slow portal never stalls the selection path.
+type PortalViews struct {
+	// Client fetches views (typically a *portal.Client).
+	Client ViewFetcher
+	// TTL is how long a fetched view is served without revalidation
+	// (default 30s).
+	TTL time.Duration
+	// RefreshTimeout bounds one refresh, on top of the client's own
+	// retry policy (default 10s).
+	RefreshTimeout time.Duration
+	// FailureBackoff is how long to serve stale after a failed refresh
+	// before trying the portal again (default 5s); it stops a dead
+	// portal from being hammered on every selection.
+	FailureBackoff time.Duration
+	// Log, if non-nil, receives one line per refresh failure.
+	Log *log.Logger
+
+	mu         sync.Mutex
+	view       *core.View
+	fetched    time.Time
+	nextRetry  time.Time
+	refreshing bool
+	stats      ViewStats
+}
+
+// NewPortalViews builds a PortalViews with default timings.
+func NewPortalViews(client ViewFetcher, ttl time.Duration) *PortalViews {
+	return &PortalViews{Client: client, TTL: ttl}
+}
+
+func (p *PortalViews) ttl() time.Duration {
+	if p.TTL > 0 {
+		return p.TTL
+	}
+	return 30 * time.Second
+}
+
+func (p *PortalViews) refreshTimeout() time.Duration {
+	if p.RefreshTimeout > 0 {
+		return p.RefreshTimeout
+	}
+	return 10 * time.Second
+}
+
+func (p *PortalViews) failureBackoff() time.Duration {
+	if p.FailureBackoff > 0 {
+		return p.FailureBackoff
+	}
+	return 5 * time.Second
+}
+
+// ViewFor implements ViewProvider. The ASN argument is unused: one
+// PortalViews speaks for the one iTracker its client points at.
+func (p *PortalViews) ViewFor(asn int) DistanceView {
+	now := time.Now()
+	p.mu.Lock()
+	fresh := p.view != nil && now.Sub(p.fetched) < p.ttl()
+	if fresh || p.refreshing || now.Before(p.nextRetry) {
+		v := p.view
+		if !fresh && v != nil {
+			p.stats.StaleServes++
+		}
+		if v == nil {
+			p.stats.NilServes++
+		}
+		p.mu.Unlock()
+		if v == nil {
+			return nil // not a typed-nil interface
+		}
+		return v
+	}
+	p.refreshing = true
+	p.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), p.refreshTimeout())
+	v, err := p.Client.DistancesContext(ctx)
+	cancel()
+
+	p.mu.Lock()
+	p.refreshing = false
+	if err != nil {
+		p.stats.Failures++
+		p.nextRetry = time.Now().Add(p.failureBackoff())
+		if p.Log != nil {
+			p.Log.Printf("portal refresh failed (serving last-known-good): %v", err)
+		}
+		stale := p.view
+		if stale != nil {
+			p.stats.StaleServes++
+		} else {
+			p.stats.NilServes++
+		}
+		p.mu.Unlock()
+		if stale == nil {
+			return nil
+		}
+		return stale
+	}
+	p.stats.Refreshes++
+	p.view = v
+	p.fetched = time.Now()
+	p.nextRetry = time.Time{}
+	p.mu.Unlock()
+	return v
+}
+
+// Stats returns a snapshot of the cache counters.
+func (p *PortalViews) Stats() ViewStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// LastKnownGood reports the currently held view (possibly stale) and
+// when it was fetched; ok is false before any successful fetch.
+func (p *PortalViews) LastKnownGood() (v *core.View, fetched time.Time, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.view, p.fetched, p.view != nil
+}

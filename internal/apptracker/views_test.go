@@ -1,0 +1,187 @@
+package apptracker
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/portal"
+	"p4p/internal/topology"
+)
+
+// scriptedFetcher returns canned views/errors in sequence, recording
+// call counts.
+type scriptedFetcher struct {
+	calls atomic.Int64
+	fn    func(n int64) (*core.View, error)
+}
+
+func (f *scriptedFetcher) DistancesContext(ctx context.Context) (*core.View, error) {
+	return f.fn(f.calls.Add(1))
+}
+
+func testView(version int) *core.View {
+	return &core.View{
+		PIDs:    []topology.PID{0, 1, 2},
+		D:       [][]float64{{0, 1, 5}, {1, 0, 2}, {5, 2, 0}},
+		Version: version,
+	}
+}
+
+func TestPortalViewsServesLastKnownGood(t *testing.T) {
+	want := testView(1)
+	f := &scriptedFetcher{fn: func(n int64) (*core.View, error) {
+		if n == 1 {
+			return want, nil
+		}
+		return nil, errors.New("injected: portal down")
+	}}
+	p := NewPortalViews(f, time.Nanosecond) // every call is past the TTL
+	p.FailureBackoff = time.Nanosecond      // retry the portal every call
+
+	if got := p.ViewFor(1); got != DistanceView(want) {
+		t.Fatalf("first fetch = %v", got)
+	}
+	time.Sleep(time.Millisecond) // expire TTL and backoff
+	for i := 0; i < 3; i++ {
+		if got := p.ViewFor(1); got != DistanceView(want) {
+			t.Fatalf("call %d: stale view not served, got %v", i, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := p.Stats()
+	if s.Refreshes != 1 || s.Failures < 1 || s.StaleServes < 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if _, _, ok := p.LastKnownGood(); !ok {
+		t.Fatal("last-known-good lost")
+	}
+}
+
+func TestPortalViewsNilBeforeFirstFetch(t *testing.T) {
+	f := &scriptedFetcher{fn: func(int64) (*core.View, error) {
+		return nil, errors.New("injected: portal never up")
+	}}
+	p := NewPortalViews(f, time.Minute)
+	if v := p.ViewFor(1); v != nil {
+		t.Fatalf("expected untyped nil view, got %#v", v)
+	}
+	if s := p.Stats(); s.NilServes != 1 || s.Failures != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The selector must still produce peers (native fallback).
+	sel := &P4P{Views: p}
+	rng := rand.New(rand.NewSource(1))
+	self := Node{ID: 0, PID: 0, ASN: 1}
+	var cands []Node
+	for i := 1; i <= 10; i++ {
+		cands = append(cands, Node{ID: i, PID: topology.PID(i % 3), ASN: 1})
+	}
+	idx := sel.Select(self, cands, 4, rng)
+	if len(idx) != 4 {
+		t.Fatalf("selection degraded to %d peers, want 4", len(idx))
+	}
+}
+
+func TestPortalViewsFailureBackoff(t *testing.T) {
+	f := &scriptedFetcher{fn: func(int64) (*core.View, error) {
+		return nil, errors.New("injected: portal down")
+	}}
+	p := NewPortalViews(f, time.Nanosecond)
+	p.FailureBackoff = time.Hour
+	p.ViewFor(1)
+	for i := 0; i < 5; i++ {
+		p.ViewFor(1)
+	}
+	if n := f.calls.Load(); n != 1 {
+		t.Fatalf("dead portal probed %d times within backoff, want 1", n)
+	}
+}
+
+func TestPortalViewsConcurrentRefreshSingleflight(t *testing.T) {
+	block := make(chan struct{})
+	f := &scriptedFetcher{fn: func(n int64) (*core.View, error) {
+		if n == 1 {
+			return testView(1), nil
+		}
+		<-block
+		return testView(2), nil
+	}}
+	p := NewPortalViews(f, time.Nanosecond)
+	p.ViewFor(1) // prime
+	time.Sleep(time.Millisecond)
+
+	// One goroutine starts a (blocked) refresh; concurrent callers must
+	// be answered from the stale view immediately rather than piling up.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		p.ViewFor(1)
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for f.calls.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("refresh never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan DistanceView)
+	go func() { done <- p.ViewFor(1) }()
+	select {
+	case v := <-done:
+		if v == nil {
+			t.Fatal("stale view not served during refresh")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("selection blocked behind an in-flight refresh")
+	}
+	close(block)
+}
+
+// TestSelectionSurvivesPortalOutage is the end-to-end acceptance test:
+// a real portal server feeds a real client once; then the portal goes
+// fully down and peer selection keeps running off the last-known-good
+// view, flagged in the stats.
+func TestSelectionSurvivesPortalOutage(t *testing.T) {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	e := core.NewEngine(g, r, core.Config{})
+	tr := itracker.New(itracker.Config{Name: "t", ASN: 1}, e, itracker.SyntheticPIDMap(g))
+	srv := httptest.NewServer(portal.NewHandler(tr))
+
+	client := portal.NewClient(srv.URL, "")
+	client.Retry = portal.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, PerAttempt: time.Second}
+	views := NewPortalViews(client, time.Nanosecond)
+	views.FailureBackoff = time.Nanosecond
+
+	if v := views.ViewFor(1); v == nil {
+		t.Fatal("initial fetch failed")
+	}
+
+	// Portal goes fully down.
+	srv.Close()
+	time.Sleep(time.Millisecond)
+
+	sel := &P4P{Views: views}
+	rng := rand.New(rand.NewSource(42))
+	self := Node{ID: 0, PID: 0, ASN: 1}
+	var cands []Node
+	for i := 1; i <= 20; i++ {
+		cands = append(cands, Node{ID: i, PID: topology.PID(i % 5), ASN: 1})
+	}
+	idx := sel.Select(self, cands, 8, rng)
+	if len(idx) != 8 {
+		t.Fatalf("outage selection returned %d peers, want 8", len(idx))
+	}
+	s := views.Stats()
+	if s.Failures < 1 || s.StaleServes < 1 {
+		t.Fatalf("outage not flagged in stats: %+v", s)
+	}
+}

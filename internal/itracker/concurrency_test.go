@@ -1,0 +1,110 @@
+package itracker
+
+import (
+	"sync"
+	"testing"
+
+	"p4p/internal/core"
+)
+
+// TestDistancesConcurrentSingleflight is the regression test for the
+// serialized view cache: a version bump must trigger exactly one
+// engine.Matrix materialization regardless of how many readers race,
+// and every racer must get the same snapshot. Run with -race.
+func TestDistancesConcurrentSingleflight(t *testing.T) {
+	tr, g := testTracker(Config{Name: "sf", ASN: 1})
+	const rounds, workers = 5, 32
+	for r := 0; r < rounds; r++ {
+		tr.ObserveAndUpdate(make([]float64, g.NumLinks()))
+		var wg sync.WaitGroup
+		views := make([]*core.View, workers)
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				views[w], errs[w] = tr.Distances("")
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				t.Fatal(errs[w])
+			}
+			if views[w] != views[0] {
+				t.Fatal("concurrent callers got different view snapshots")
+			}
+		}
+	}
+	if got := tr.ViewRecomputes(); got != rounds {
+		t.Fatalf("recomputes = %d, want %d (one per version bump)", got, rounds)
+	}
+	if q, _ := tr.Stats(); q != rounds*workers {
+		t.Fatalf("queries = %d, want %d", q, rounds*workers)
+	}
+}
+
+// TestDistancesMixedReadersAndUpdates hammers reads while prices update
+// concurrently; under -race this proves readers never hold the server
+// lock across a recompute and never observe a torn cache.
+func TestDistancesMixedReadersAndUpdates(t *testing.T) {
+	tr, g := testTracker(Config{Name: "mix", ASN: 1})
+	loads := make([]float64, g.NumLinks())
+	loads[0] = 5e9
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tr.ObserveAndUpdate(loads)
+		}
+		close(stop)
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, err := tr.Distances("")
+				if err != nil || v == nil || len(v.PIDs) == 0 {
+					t.Errorf("distances during updates: v=%v err=%v", v, err)
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestViewVersionPeek checks the conditional-GET helper: it reports the
+// served version without materializing, and honors access control.
+func TestViewVersionPeek(t *testing.T) {
+	tr, g := testTracker(Config{Name: "peek", ASN: 1, TrustedTokens: []string{"tok"}})
+	if _, err := tr.ViewVersion("wrong"); err == nil {
+		t.Fatal("expected access denial")
+	}
+	ver, err := tr.ViewVersion("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.ViewRecomputes(); n != 0 {
+		t.Fatalf("version peek materialized the view (%d recomputes)", n)
+	}
+	v, err := tr.Distances("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Version != ver {
+		t.Fatalf("served version %d, peeked %d", v.Version, ver)
+	}
+	tr.ObserveAndUpdate(make([]float64, g.NumLinks()))
+	if ver2, _ := tr.ViewVersion("tok"); ver2 == ver {
+		t.Fatal("version did not advance after update")
+	}
+}

@@ -79,8 +79,9 @@ type Server struct {
 
 	mu          sync.Mutex
 	cachedView  *core.View
-	cachedPIDs  []topology.PID
 	cachedVer   int
+	inflight    chan struct{} // non-nil while one goroutine materializes
+	recomputes  int64
 	trusted     map[string]bool
 	queryCount  int64
 	updateCount int64
@@ -127,22 +128,70 @@ func (t *Server) PolicyFor(token string) (Policy, error) {
 // the externally visible (aggregation) PIDs. Views are cached by engine
 // version so per-client queries never recompute ("Network information
 // should be aggregated and allow caching").
+//
+// Materialization is singleflight: when a version bump invalidates the
+// cache, exactly one caller runs engine.Matrix while concurrent readers
+// wait on the in-flight computation without holding the server lock, so
+// a price update never serializes the whole query path behind one
+// recompute. The aggregation PID set is re-derived on every recompute,
+// so topology growth is picked up at the next version bump.
 func (t *Server) Distances(token string) (*core.View, error) {
 	if !t.authorized(token) {
 		return nil, ErrAccessDenied
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.queryCount++
-	ver := t.engine.Version()
-	if t.cachedView == nil || t.cachedVer != ver {
-		if t.cachedPIDs == nil {
-			t.cachedPIDs = t.engine.Graph().AggregationPIDs()
+	for {
+		if v := t.cachedView; v != nil && t.cachedVer == t.engine.Version() {
+			t.mu.Unlock()
+			return v, nil
 		}
-		t.cachedView = t.engine.Matrix(t.cachedPIDs)
-		t.cachedVer = ver
+		if done := t.inflight; done != nil {
+			// Another goroutine is materializing; wait for it with the
+			// lock released, then re-check the cache.
+			t.mu.Unlock()
+			<-done
+			t.mu.Lock()
+			continue
+		}
+		done := make(chan struct{})
+		t.inflight = done
+		t.mu.Unlock()
+
+		pids := t.engine.Graph().AggregationPIDs()
+		view := t.engine.Matrix(pids)
+
+		t.mu.Lock()
+		t.cachedView = view
+		t.cachedVer = view.Version
+		t.recomputes++
+		t.inflight = nil
+		t.mu.Unlock()
+		close(done)
+		// If a price update raced the recompute, view.Version lags the
+		// engine and the next caller re-materializes; this caller still
+		// gets a self-consistent snapshot.
+		return view, nil
 	}
-	return t.cachedView, nil
+}
+
+// ViewVersion reports the engine version a Distances call would serve,
+// without materializing or serializing a view. The HTTP portal uses it
+// to answer conditional GETs (If-None-Match) with 304 Not Modified.
+func (t *Server) ViewVersion(token string) (int, error) {
+	if !t.authorized(token) {
+		return 0, ErrAccessDenied
+	}
+	return t.engine.Version(), nil
+}
+
+// ViewRecomputes reports how many times the external view has been
+// materialized from the engine — with version caching and singleflight
+// this tracks version bumps, not query volume.
+func (t *Server) ViewRecomputes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recomputes
 }
 
 // RankedDistances serves the coarsest form of the interface: per-source

@@ -1,27 +1,92 @@
 package portal
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
+	"sync"
 	"time"
 
 	"p4p/internal/core"
 	"p4p/internal/itracker"
 )
 
+// RetryPolicy bounds the client's retry loop. Attempts are spaced by
+// exponential backoff with full jitter and each attempt runs under its
+// own deadline, so one slow or dead portal replica cannot wedge a
+// caller for longer than the policy allows.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 3; values < 1 behave as 1).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// PerAttempt is the per-attempt timeout (default 5s). The deadline
+	// of the caller's context, when sooner, wins.
+	PerAttempt time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.PerAttempt <= 0 {
+		p.PerAttempt = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before attempt n (n = 1 after the first
+// try), exponential in n with full jitter.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseDelay << uint(n-1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return time.Duration(rand.Int63n(int64(d)) + 1)
+}
+
+// cachedView pairs a decoded view with the ETag it arrived under, for
+// conditional refresh.
+type cachedView struct {
+	view *core.View
+	etag string
+}
+
 // Client talks to one iTracker portal. It is what an appTracker (or a
 // peer in a trackerless system) embeds to consume the P4P interfaces.
+//
+// All methods have context-taking variants; the plain forms use
+// context.Background(). Calls retry transient failures (network errors,
+// HTTP 5xx/429) per Retry, and the distance methods revalidate a cached
+// view with If-None-Match so an unchanged matrix is never re-downloaded.
 type Client struct {
 	// BaseURL is the portal root, e.g. "http://isp-b.example:8080".
 	BaseURL string
 	// Token is presented on restricted interfaces.
 	Token string
-	// HTTPClient defaults to a client with a 10 s timeout.
+	// HTTPClient defaults to a client with a 10 s timeout. Tests inject
+	// faults by setting its Transport.
 	HTTPClient *http.Client
+	// Retry bounds the retry loop; zero values take defaults.
+	Retry RetryPolicy
+
+	mu    sync.Mutex
+	views map[string]*cachedView // by form ("raw", "ranks")
 }
 
 // NewClient builds a portal client.
@@ -33,37 +98,110 @@ func NewClient(baseURL, token string) *Client {
 	}
 }
 
-func (c *Client) get(path string, query url.Values, out interface{}) error {
+// errHTTP carries a non-2xx portal response through the retry loop.
+type errHTTP struct {
+	status int
+	msg    string
+	path   string
+}
+
+func (e *errHTTP) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("portal: %s: %s (HTTP %d)", e.path, e.msg, e.status)
+	}
+	return fmt.Sprintf("portal: %s: HTTP %d", e.path, e.status)
+}
+
+// retryable reports whether an attempt's failure is worth retrying.
+func retryable(status int, err error) bool {
+	if err != nil {
+		// Network-level failures (refused, reset, per-attempt timeout)
+		// are transient; the caller's own cancellation is checked
+		// separately against the parent context.
+		return true
+	}
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// doGET performs one GET with retries. It returns the final status,
+// body, and response ETag; err is non-nil only when no attempt produced
+// an HTTP response.
+func (c *Client) doGET(ctx context.Context, path string, query url.Values, etag string) (status int, body []byte, respETag string, err error) {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
-	}
-	req, err := http.NewRequest(http.MethodGet, u, nil)
-	if err != nil {
-		return fmt.Errorf("portal: build request: %w", err)
-	}
-	if c.Token != "" {
-		req.Header.Set(tokenHeader, c.Token)
 	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
+	pol := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		status, body, respETag, lastErr = c.attempt(ctx, hc, u, path, etag, pol.PerAttempt)
+		if lastErr == nil && !retryable(status, nil) {
+			return status, body, respETag, nil
+		}
+		if lastErr == nil {
+			// Retryable HTTP status: keep the envelope in case this is
+			// the last attempt.
+			lastErr = httpErrFromBody(path, status, body)
+		}
+		if attempt >= pol.MaxAttempts || ctx.Err() != nil {
+			return 0, nil, "", fmt.Errorf("portal: %s: giving up after %d attempt(s): %w", path, attempt, lastErr)
+		}
+		select {
+		case <-time.After(pol.backoff(attempt)):
+		case <-ctx.Done():
+			return 0, nil, "", fmt.Errorf("portal: %s: %w (after %d attempt(s): %v)", path, ctx.Err(), attempt, lastErr)
+		}
+	}
+}
+
+// attempt issues one request under a per-attempt deadline.
+func (c *Client) attempt(ctx context.Context, hc *http.Client, u, path, etag string, perAttempt time.Duration) (int, []byte, string, error) {
+	actx, cancel := context.WithTimeout(ctx, perAttempt)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("build request: %w", err)
+	}
+	if c.Token != "" {
+		req.Header.Set(tokenHeader, c.Token)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("portal: %s: %w", path, err)
+		return 0, nil, "", err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return fmt.Errorf("portal: read %s: %w", path, err)
+		return 0, nil, "", fmt.Errorf("read body: %w", err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		var e errorWire
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("portal: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("portal: %s: HTTP %d", path, resp.StatusCode)
+	return resp.StatusCode, body, resp.Header.Get("ETag"), nil
+}
+
+// httpErrFromBody builds the error for a non-2xx response, preferring
+// the server's JSON error envelope.
+func httpErrFromBody(path string, status int, body []byte) error {
+	var e errorWire
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &errHTTP{status: status, msg: e.Error, path: path}
+	}
+	return &errHTTP{status: status, path: path}
+}
+
+// getJSON fetches path and decodes a 200 response into out.
+func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out interface{}) error {
+	status, body, _, err := c.doGET(ctx, path, query, "")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return httpErrFromBody(path, status, body)
 	}
 	if err := json.Unmarshal(body, out); err != nil {
 		return fmt.Errorf("portal: decode %s: %w", path, err)
@@ -71,46 +209,117 @@ func (c *Client) get(path string, query url.Values, out interface{}) error {
 	return nil
 }
 
+// fetchView fetches /p4p/v1/distances in the given form, revalidating
+// the cached copy with If-None-Match; a 304 returns the cached view
+// without moving matrix bytes over the wire.
+func (c *Client) fetchView(ctx context.Context, form string) (*core.View, error) {
+	const path = "/p4p/v1/distances"
+	q := url.Values{}
+	if form != "raw" {
+		q.Set("form", form)
+	}
+	c.mu.Lock()
+	cached := c.views[form]
+	c.mu.Unlock()
+	etag := ""
+	if cached != nil {
+		etag = cached.etag
+	}
+	status, body, respETag, err := c.doGET(ctx, path, q, etag)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusNotModified:
+		if cached == nil {
+			return nil, fmt.Errorf("portal: %s: 304 with no cached view", path)
+		}
+		return cached.view, nil
+	case http.StatusOK:
+		var w ViewWire
+		if err := json.Unmarshal(body, &w); err != nil {
+			return nil, fmt.Errorf("portal: decode %s: %w", path, err)
+		}
+		v, err := FromWire(&w)
+		if err != nil {
+			return nil, err
+		}
+		if respETag != "" {
+			c.mu.Lock()
+			if c.views == nil {
+				c.views = map[string]*cachedView{}
+			}
+			c.views[form] = &cachedView{view: v, etag: respETag}
+			c.mu.Unlock()
+		}
+		return v, nil
+	default:
+		return nil, httpErrFromBody(path, status, body)
+	}
+}
+
+// PolicyContext fetches the network usage policy.
+func (c *Client) PolicyContext(ctx context.Context) (itracker.Policy, error) {
+	var pol itracker.Policy
+	err := c.getJSON(ctx, "/p4p/v1/policy", nil, &pol)
+	return pol, err
+}
+
 // Policy fetches the network usage policy.
 func (c *Client) Policy() (itracker.Policy, error) {
-	var pol itracker.Policy
-	err := c.get("/p4p/v1/policy", nil, &pol)
-	return pol, err
+	return c.PolicyContext(context.Background())
+}
+
+// DistancesContext fetches the raw p-distance view.
+func (c *Client) DistancesContext(ctx context.Context) (*core.View, error) {
+	return c.fetchView(ctx, "raw")
 }
 
 // Distances fetches the raw p-distance view.
 func (c *Client) Distances() (*core.View, error) {
-	var w ViewWire
-	if err := c.get("/p4p/v1/distances", nil, &w); err != nil {
-		return nil, err
-	}
-	return FromWire(&w)
+	return c.DistancesContext(context.Background())
+}
+
+// RankedDistancesContext fetches the coarsened rank view.
+func (c *Client) RankedDistancesContext(ctx context.Context) (*core.View, error) {
+	return c.fetchView(ctx, "ranks")
 }
 
 // RankedDistances fetches the coarsened rank view.
 func (c *Client) RankedDistances() (*core.View, error) {
-	var w ViewWire
-	q := url.Values{"form": {"ranks"}}
-	if err := c.get("/p4p/v1/distances", q, &w); err != nil {
-		return nil, err
-	}
-	return FromWire(&w)
+	return c.RankedDistancesContext(context.Background())
 }
 
-// Capabilities fetches provider capabilities, optionally filtered.
-func (c *Client) Capabilities(kind string) ([]itracker.Capability, error) {
+// CapabilitiesContext fetches provider capabilities, optionally filtered.
+func (c *Client) CapabilitiesContext(ctx context.Context, kind string) ([]itracker.Capability, error) {
 	var caps []itracker.Capability
 	q := url.Values{}
 	if kind != "" {
 		q.Set("kind", kind)
 	}
-	err := c.get("/p4p/v1/capabilities", q, &caps)
+	err := c.getJSON(ctx, "/p4p/v1/capabilities", q, &caps)
 	return caps, err
+}
+
+// Capabilities fetches provider capabilities, optionally filtered.
+func (c *Client) Capabilities(kind string) ([]itracker.Capability, error) {
+	return c.CapabilitiesContext(context.Background(), kind)
+}
+
+// errNilIP rejects LookupPID calls before any request is issued.
+var errNilIP = errors.New("portal: lookup of nil or invalid IP")
+
+// LookupPIDContext resolves an IP to PID and ASN.
+func (c *Client) LookupPIDContext(ctx context.Context, ip net.IP) (PIDLookupWire, error) {
+	var out PIDLookupWire
+	if ip == nil || ip.To16() == nil {
+		return out, errNilIP
+	}
+	err := c.getJSON(ctx, "/p4p/v1/pid", url.Values{"ip": {ip.String()}}, &out)
+	return out, err
 }
 
 // LookupPID resolves an IP to PID and ASN.
 func (c *Client) LookupPID(ip net.IP) (PIDLookupWire, error) {
-	var out PIDLookupWire
-	err := c.get("/p4p/v1/pid", url.Values{"ip": {ip.String()}}, &out)
-	return out, err
+	return c.LookupPIDContext(context.Background(), ip)
 }

@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"context"
 	"math"
 	"net"
 	"net/http/httptest"
@@ -150,9 +151,12 @@ func TestBadForm(t *testing.T) {
 	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
 	c := NewClient(srv.URL, "")
 	var w ViewWire
-	err := c.get("/p4p/v1/distances", map[string][]string{"form": {"bogus"}}, &w)
+	err := c.getJSON(context.Background(), "/p4p/v1/distances", map[string][]string{"form": {"bogus"}}, &w)
 	if err == nil {
 		t.Fatal("expected error for unknown form")
+	}
+	if !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown form should be HTTP 400, got %v", err)
 	}
 }
 

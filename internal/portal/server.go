@@ -3,10 +3,13 @@ package portal
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 
+	"p4p/internal/core"
 	"p4p/internal/itracker"
 )
 
@@ -20,7 +23,11 @@ const tokenHeader = "X-P4P-Token"
 //	GET /p4p/v1/capabilities[?kind=...]
 //	GET /p4p/v1/pid?ip=a.b.c.d
 //
-// All responses are JSON; errors use {"error": "..."} envelopes.
+// All responses are JSON; errors use {"error": "..."} envelopes. The
+// distances endpoint is version-cacheable: responses carry an ETag
+// derived from the engine version, and requests presenting a current
+// version via If-None-Match get 304 Not Modified with no body, so
+// refreshing appTrackers pay nothing when the view has not changed.
 type Handler struct {
 	Tracker *itracker.Server
 	// Log, if non-nil, receives one line per request.
@@ -46,12 +53,21 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
+// writeJSON encodes v to a buffer before touching the ResponseWriter,
+// so an encoding failure (e.g. a NaN sneaking into a matrix) yields a
+// clean 500 error envelope instead of a truncated HTTP 200.
 func (h *Handler) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		if h.Log != nil {
+			h.Log.Printf("encode response: %v", err)
+		}
+		status = http.StatusInternalServerError
+		body, _ = json.Marshal(errorWire{Error: "response encoding failed"})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil && h.Log != nil {
-		h.Log.Printf("encode response: %v", err)
-	}
+	w.Write(append(body, '\n'))
 }
 
 func (h *Handler) writeErr(w http.ResponseWriter, err error) {
@@ -71,26 +87,58 @@ func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	h.writeJSON(w, http.StatusOK, pol)
 }
 
+// viewETag derives the distances ETag from the engine version and the
+// requested form (raw and ranked views of one version differ).
+func viewETag(version int, form string) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("v%d-%s", version, form))
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// given ETag, honoring comma-separated lists and the "*" wildcard.
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
 func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
 	token := r.Header.Get(tokenHeader)
-	switch r.URL.Query().Get("form") {
-	case "", "raw":
-		v, err := h.Tracker.Distances(token)
-		if err != nil {
-			h.writeErr(w, err)
-			return
-		}
-		h.writeJSON(w, http.StatusOK, ToWire(v))
-	case "ranks":
-		v, err := h.Tracker.RankedDistances(token)
-		if err != nil {
-			h.writeErr(w, err)
-			return
-		}
-		h.writeJSON(w, http.StatusOK, ToWire(v))
-	default:
-		h.writeJSON(w, http.StatusBadRequest, errorWire{Error: "unknown form; use raw or ranks"})
+	form := r.URL.Query().Get("form")
+	if form == "" {
+		form = "raw"
 	}
+	if form != "raw" && form != "ranks" {
+		h.writeJSON(w, http.StatusBadRequest, errorWire{Error: "unknown form; use raw or ranks"})
+		return
+	}
+	// Conditional GET: a client whose cached version is still current
+	// skips view materialization and serialization entirely.
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		ver, err := h.Tracker.ViewVersion(token)
+		if err == nil && etagMatches(inm, viewETag(ver, form)) {
+			w.Header().Set("ETag", viewETag(ver, form))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	var v *core.View
+	var err error
+	if form == "raw" {
+		v, err = h.Tracker.Distances(token)
+	} else {
+		v, err = h.Tracker.RankedDistances(token)
+	}
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	w.Header().Set("ETag", viewETag(v.Version, form))
+	h.writeJSON(w, http.StatusOK, ToWire(v))
 }
 
 func (h *Handler) handleCapabilities(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification gate: vet, build, and race-test the whole module.
+# Run from anywhere; operates on the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> go vet ./...'
+go vet ./...
+echo '>> go build ./...'
+go build ./...
+echo '>> go test -race ./...'
+go test -race ./...
+echo 'verify: OK'
