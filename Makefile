@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,8 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Portal request + view-recompute benchmarks, emitted as JSON at
+# BENCH_portal.json for cross-commit comparison.
+bench-json:
+	sh scripts/bench_json.sh

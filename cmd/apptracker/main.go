@@ -9,6 +9,12 @@
 // cache counters (refreshes, failures, stale serves), which flag when
 // selection is running on a last-known-good view because the portal is
 // unreachable.
+//
+// Observability: GET /metrics serves the Prometheus exposition
+// (request counts/latency per route, portal-client retries and
+// backoff, ETag-cache hits, stale/nil serves); -pprof mounts
+// net/http/pprof under /debug/pprof/. Requests are logged with request
+// IDs via log/slog.
 package main
 
 import (
@@ -16,7 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -27,6 +33,7 @@ import (
 
 	"p4p/internal/apptracker"
 	"p4p/internal/portal"
+	"p4p/internal/telemetry"
 )
 
 type selectRequest struct {
@@ -40,6 +47,27 @@ type selectResponse struct {
 	Policy  string `json:"policy"`
 }
 
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v to a buffer before touching the ResponseWriter,
+// so an encoding failure yields a clean 500 error envelope instead of
+// a truncated HTTP 200 (the pattern the portal server established).
+func writeJSON(logger *slog.Logger, w http.ResponseWriter, r *http.Request, status int, v interface{}) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		logger.Error("encode response",
+			slog.String("request_id", telemetry.RequestID(r.Context())),
+			slog.String("error", err.Error()))
+		status = http.StatusInternalServerError
+		body, _ = json.Marshal(errorResponse{Error: "response encoding failed"})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
 func main() {
 	var (
 		listen   = flag.String("listen", ":8081", "HTTP listen address")
@@ -49,22 +77,37 @@ func main() {
 		seed     = flag.Int64("seed", time.Now().UnixNano(), "selection RNG seed")
 		mDefault = flag.Int("m", 20, "default peer count per request")
 		retries  = flag.Int("portal-retries", 3, "portal attempts per refresh")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		logJSON  = flag.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	flag.Parse()
 
+	logger := newLogger(*logJSON)
+
+	// Telemetry: one registry feeds the portal client, the view cache,
+	// the request middleware, and GET /metrics.
+	reg := telemetry.NewRegistry()
+
 	client := portal.NewClient(*itrURL, *token)
 	client.Retry.MaxAttempts = *retries
+	client.Metrics = portal.NewClientMetrics(reg)
 	views := apptracker.NewPortalViews(client, *ttl)
-	views.Log = log.New(os.Stderr, "apptracker ", log.LstdFlags)
+	views.Logger = logger
+	views.Metrics = apptracker.NewViewMetrics(reg)
 	sel := &apptracker.P4P{Views: views}
 	rng := rand.New(rand.NewSource(*seed))
 	var rngMu sync.Mutex
 
+	mw := &telemetry.Middleware{
+		Metrics: telemetry.NewHTTPMetrics(reg, "p4p_http"),
+		Logger:  logger,
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /select", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("POST /select", mw.RouteFunc("select", func(w http.ResponseWriter, r *http.Request) {
 		var req selectRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			writeJSON(logger, w, r, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
 			return
 		}
 		if req.M <= 0 {
@@ -76,17 +119,16 @@ func main() {
 		if idx == nil {
 			idx = []int{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(selectResponse{Indices: idx, Policy: sel.Name()}); err != nil {
-			log.Printf("encode response: %v", err)
-		}
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(views.Stats()); err != nil {
-			log.Printf("encode stats: %v", err)
-		}
-	})
+		writeJSON(logger, w, r, http.StatusOK, selectResponse{Indices: idx, Policy: sel.Name()})
+	}))
+	mux.Handle("GET /stats", mw.RouteFunc("stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(logger, w, r, http.StatusOK, views.Stats())
+	}))
+	mux.Handle("GET /metrics", reg.Handler())
+	if *pprofOn {
+		telemetry.RegisterPprof(mux)
+	}
+	mw.Preregister()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -101,17 +143,30 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("appTracker listening on %s, portal %s", *listen, *itrURL)
+	logger.Info("appTracker listening",
+		slog.String("addr", *listen),
+		slog.String("portal", *itrURL),
+		slog.Bool("pprof", *pprofOn))
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("serve failed", slog.String("error", err.Error()))
+		os.Exit(1)
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", slog.String("error", err.Error()))
 		}
 	}
+}
+
+// newLogger builds the process logger: text for humans, JSON for log
+// pipelines.
+func newLogger(jsonOut bool) *slog.Logger {
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }

@@ -10,6 +10,14 @@
 //
 //	curl localhost:8080/p4p/v1/distances
 //	curl "localhost:8080/p4p/v1/pid?ip=10.3.0.7"
+//	curl localhost:8080/metrics
+//
+// Observability: GET /metrics serves the Prometheus exposition (HTTP
+// request counts/latency per route, ETag 304 hits, view-recompute
+// durations, view version, super-gradient norm and max link
+// utilization); -pprof additionally mounts net/http/pprof under
+// /debug/pprof/. Every request is logged with a request ID via
+// log/slog.
 package main
 
 import (
@@ -17,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,6 +36,7 @@ import (
 	"p4p/internal/core"
 	"p4p/internal/itracker"
 	"p4p/internal/portal"
+	"p4p/internal/telemetry"
 	"p4p/internal/topology"
 )
 
@@ -40,8 +49,12 @@ func main() {
 		perturb   = flag.Float64("perturb", 0, "privacy perturbation fraction (e.g. 0.05)")
 		tokens    = flag.String("tokens", "", "comma-separated trusted appTracker tokens (empty = open)")
 		update    = flag.Duration("update", 0, "if set, run an idle price update every interval")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		logJSON   = flag.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logJSON)
 
 	g, err := topologyByName(*topoName)
 	if err != nil {
@@ -75,6 +88,23 @@ func main() {
 		},
 	}, engine, itracker.SyntheticPIDMap(g))
 
+	// Telemetry: one registry feeds the portal middleware, the iTracker
+	// engine gauges, and GET /metrics.
+	reg := telemetry.NewRegistry()
+	tr.Metrics = itracker.NewMetrics(reg)
+
+	h := portal.NewHandler(tr)
+	h.Telemetry.Metrics = telemetry.NewHTTPMetrics(reg, "p4p_http")
+	h.Telemetry.Logger = logger
+	h.Telemetry.Preregister()
+
+	mux := http.NewServeMux()
+	mux.Handle("/p4p/", h)
+	mux.Handle("GET /metrics", reg.Handler())
+	if *pprofOn {
+		telemetry.RegisterPprof(mux)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -94,11 +124,9 @@ func main() {
 		}()
 	}
 
-	h := portal.NewHandler(tr)
-	h.Log = log.New(os.Stderr, "itracker ", log.LstdFlags)
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           h,
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -106,21 +134,35 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("iTracker for %s (%d PIDs, %d links) listening on %s",
-		g.Name, g.NumNodes(), g.NumLinks(), *listen)
+	logger.Info("iTracker listening",
+		slog.String("network", g.Name),
+		slog.Int("pids", g.NumNodes()),
+		slog.Int("links", g.NumLinks()),
+		slog.String("addr", *listen),
+		slog.Bool("pprof", *pprofOn))
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("serve failed", slog.String("error", err.Error()))
+		os.Exit(1)
 	case <-ctx.Done():
 		// Drain in-flight portal queries before exiting.
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", slog.String("error", err.Error()))
 		}
 	}
+}
+
+// newLogger builds the process logger: text for humans, JSON for log
+// pipelines.
+func newLogger(jsonOut bool) *slog.Logger {
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 func topologyByName(name string) (*topology.Graph, error) {

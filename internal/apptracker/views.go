@@ -2,11 +2,12 @@ package apptracker
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"sync"
 	"time"
 
 	"p4p/internal/core"
+	"p4p/internal/telemetry"
 )
 
 // ViewFetcher is the slice of the portal client PortalViews needs; the
@@ -32,6 +33,66 @@ type ViewStats struct {
 	// NilServes counts selections with no view at all (portal down and
 	// never reached); the selector degrades to native random peering.
 	NilServes int64 `json:"nil_serves"`
+	// Coalesces counts selections answered from the previous view while
+	// another caller's refresh was in flight (singleflight).
+	Coalesces int64 `json:"coalesces"`
+}
+
+// ViewMetrics mirrors ViewStats into the telemetry registry so the view
+// cache's behavior is scrapeable at /metrics. All methods on the
+// counters are nil-safe via the nil-receiver guards below.
+type ViewMetrics struct {
+	Refreshes   *telemetry.Counter
+	Failures    *telemetry.Counter
+	StaleServes *telemetry.Counter
+	NilServes   *telemetry.Counter
+	Coalesces   *telemetry.Counter
+}
+
+// NewViewMetrics registers the view-cache metric families.
+func NewViewMetrics(r *telemetry.Registry) *ViewMetrics {
+	return &ViewMetrics{
+		Refreshes: r.Counter("p4p_apptracker_view_refreshes_total",
+			"Successful portal view fetches (including 304 revalidations)."),
+		Failures: r.Counter("p4p_apptracker_view_refresh_failures_total",
+			"View refreshes that exhausted the portal client's retries."),
+		StaleServes: r.Counter("p4p_apptracker_stale_serves_total",
+			"Selections served from the last-known-good view past its TTL."),
+		NilServes: r.Counter("p4p_apptracker_nil_serves_total",
+			"Selections with no view at all (degraded to native peering)."),
+		Coalesces: r.Counter("p4p_apptracker_view_coalesced_reads_total",
+			"Selections answered from the previous view during an in-flight refresh."),
+	}
+}
+
+func (m *ViewMetrics) refresh() {
+	if m != nil {
+		m.Refreshes.Inc()
+	}
+}
+
+func (m *ViewMetrics) failure() {
+	if m != nil {
+		m.Failures.Inc()
+	}
+}
+
+func (m *ViewMetrics) staleServe() {
+	if m != nil {
+		m.StaleServes.Inc()
+	}
+}
+
+func (m *ViewMetrics) nilServe() {
+	if m != nil {
+		m.NilServes.Inc()
+	}
+}
+
+func (m *ViewMetrics) coalesce() {
+	if m != nil {
+		m.Coalesces.Inc()
+	}
 }
 
 // PortalViews adapts a portal client to the selector's ViewProvider
@@ -57,8 +118,12 @@ type PortalViews struct {
 	// before trying the portal again (default 5s); it stops a dead
 	// portal from being hammered on every selection.
 	FailureBackoff time.Duration
-	// Log, if non-nil, receives one line per refresh failure.
-	Log *log.Logger
+	// Logger, if non-nil, receives one structured line per refresh
+	// failure.
+	Logger *slog.Logger
+	// Metrics, when non-nil, mirrors the ViewStats counters into the
+	// telemetry registry (see NewViewMetrics).
+	Metrics *ViewMetrics
 
 	mu         sync.Mutex
 	view       *core.View
@@ -102,11 +167,17 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 	fresh := p.view != nil && now.Sub(p.fetched) < p.ttl()
 	if fresh || p.refreshing || now.Before(p.nextRetry) {
 		v := p.view
+		if !fresh && p.refreshing {
+			p.stats.Coalesces++
+			p.Metrics.coalesce()
+		}
 		if !fresh && v != nil {
 			p.stats.StaleServes++
+			p.Metrics.staleServe()
 		}
 		if v == nil {
 			p.stats.NilServes++
+			p.Metrics.nilServe()
 		}
 		p.mu.Unlock()
 		if v == nil {
@@ -125,15 +196,19 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 	p.refreshing = false
 	if err != nil {
 		p.stats.Failures++
+		p.Metrics.failure()
 		p.nextRetry = time.Now().Add(p.failureBackoff())
-		if p.Log != nil {
-			p.Log.Printf("portal refresh failed (serving last-known-good): %v", err)
+		if p.Logger != nil {
+			p.Logger.Warn("portal refresh failed, serving last-known-good",
+				slog.String("error", err.Error()))
 		}
 		stale := p.view
 		if stale != nil {
 			p.stats.StaleServes++
+			p.Metrics.staleServe()
 		} else {
 			p.stats.NilServes++
+			p.Metrics.nilServe()
 		}
 		p.mu.Unlock()
 		if stale == nil {
@@ -142,6 +217,7 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 		return stale
 	}
 	p.stats.Refreshes++
+	p.Metrics.refresh()
 	p.view = v
 	p.fetched = time.Now()
 	p.nextRetry = time.Time{}

@@ -12,6 +12,7 @@ import (
 	"p4p/internal/core"
 	"p4p/internal/itracker"
 	"p4p/internal/portal"
+	"p4p/internal/telemetry"
 	"p4p/internal/topology"
 )
 
@@ -101,6 +102,100 @@ func TestPortalViewsFailureBackoff(t *testing.T) {
 	}
 	if n := f.calls.Load(); n != 1 {
 		t.Fatalf("dead portal probed %d times within backoff, want 1", n)
+	}
+}
+
+// TestViewMetricsMirrorStats drives the cache through refresh, failure,
+// stale-serve, and nil-serve and checks the telemetry counters track
+// the ViewStats struct exactly.
+func TestViewMetricsMirrorStats(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := &scriptedFetcher{fn: func(n int64) (*core.View, error) {
+		if n == 1 {
+			return testView(1), nil
+		}
+		return nil, errors.New("injected: portal down")
+	}}
+	p := NewPortalViews(f, time.Nanosecond)
+	p.FailureBackoff = time.Nanosecond
+	p.Metrics = NewViewMetrics(reg)
+
+	p.ViewFor(1) // refresh
+	time.Sleep(time.Millisecond)
+	p.ViewFor(1) // failure + stale serve
+	time.Sleep(time.Millisecond)
+	p.ViewFor(1) // failure + stale serve
+
+	s := p.Stats()
+	checks := []struct {
+		name string
+		c    *telemetry.Counter
+		want int64
+	}{
+		{"refreshes", p.Metrics.Refreshes, s.Refreshes},
+		{"failures", p.Metrics.Failures, s.Failures},
+		{"stale_serves", p.Metrics.StaleServes, s.StaleServes},
+		{"nil_serves", p.Metrics.NilServes, s.NilServes},
+		{"coalesces", p.Metrics.Coalesces, s.Coalesces},
+	}
+	for _, c := range checks {
+		if got := int64(c.c.Value()); got != c.want {
+			t.Errorf("metric %s = %d, stats say %d", c.name, got, c.want)
+		}
+	}
+	if s.Refreshes != 1 || s.Failures < 1 || s.StaleServes < 1 {
+		t.Errorf("scenario did not exercise the counters: %+v", s)
+	}
+
+	// Nil-serve path on a fresh cache that never fetched.
+	p2 := NewPortalViews(&scriptedFetcher{fn: func(int64) (*core.View, error) {
+		return nil, errors.New("injected: portal never up")
+	}}, time.Minute)
+	p2.Metrics = NewViewMetrics(telemetry.NewRegistry())
+	p2.ViewFor(1)
+	if got := p2.Metrics.NilServes.Value(); got != 1 {
+		t.Errorf("nil serves = %v, want 1", got)
+	}
+}
+
+// TestCoalescedReadsCounted checks that selections answered from the
+// previous view during an in-flight refresh are counted as coalesces.
+func TestCoalescedReadsCounted(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	block := make(chan struct{})
+	f := &scriptedFetcher{fn: func(n int64) (*core.View, error) {
+		if n == 1 {
+			return testView(1), nil
+		}
+		<-block
+		return testView(2), nil
+	}}
+	p := NewPortalViews(f, time.Nanosecond)
+	p.Metrics = NewViewMetrics(reg)
+	p.ViewFor(1) // prime
+	time.Sleep(time.Millisecond)
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		p.ViewFor(1) // blocks in the refresh
+	}()
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for f.calls.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("refresh never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.ViewFor(1) // must coalesce onto the stale view
+	close(block)
+
+	if got := p.Metrics.Coalesces.Value(); got < 1 {
+		t.Errorf("coalesces = %v, want >= 1", got)
+	}
+	if s := p.Stats(); s.Coalesces < 1 {
+		t.Errorf("stats coalesces = %d, want >= 1", s.Coalesces)
 	}
 }
 

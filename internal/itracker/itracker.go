@@ -9,11 +9,14 @@ package itracker
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"p4p/internal/core"
+	"p4p/internal/telemetry"
 	"p4p/internal/topology"
 )
 
@@ -71,11 +74,66 @@ type Config struct {
 	Capabilities  []Capability
 }
 
+// Metrics instruments one iTracker: how long external-view recomputes
+// take, which view version is being served, and — per price update —
+// the super-gradient step norm and the maximum link utilization, the
+// two quantities that show the paper's dual-decomposition converging
+// (‖Δp‖ → 0 as the prices settle, MLU approaching the LP optimum).
+// All recording methods are nil-safe.
+type Metrics struct {
+	// RecomputeSeconds is the view-materialization duration histogram.
+	RecomputeSeconds *telemetry.Histogram
+	// ViewVersion is the engine version of the cached external view.
+	ViewVersion *telemetry.Gauge
+	// SupergradientNorm is ‖p(τ+1) − p(τ)‖₂ of the last price update.
+	SupergradientNorm *telemetry.Gauge
+	// MaxLinkUtilization is the MLU implied by the last observation.
+	MaxLinkUtilization *telemetry.Gauge
+	// PriceUpdates counts super-gradient updates applied.
+	PriceUpdates *telemetry.Counter
+}
+
+// NewMetrics registers the iTracker metric families.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		RecomputeSeconds: r.Histogram("p4p_itracker_view_recompute_seconds",
+			"Time to materialize the external p-distance view.", nil),
+		ViewVersion: r.Gauge("p4p_itracker_view_version",
+			"Engine version of the cached external view."),
+		SupergradientNorm: r.Gauge("p4p_itracker_supergradient_norm",
+			"L2 norm of the last super-gradient price step (converges toward 0)."),
+		MaxLinkUtilization: r.Gauge("p4p_itracker_max_link_utilization",
+			"Maximum link utilization implied by the last traffic observation."),
+		PriceUpdates: r.Counter("p4p_itracker_price_updates_total",
+			"Super-gradient price updates applied."),
+	}
+}
+
+func (m *Metrics) recompute(d time.Duration, version int) {
+	if m == nil {
+		return
+	}
+	m.RecomputeSeconds.Observe(d.Seconds())
+	m.ViewVersion.Set(float64(version))
+}
+
+func (m *Metrics) update(norm, mlu float64) {
+	if m == nil {
+		return
+	}
+	m.SupergradientNorm.Set(norm)
+	m.MaxLinkUtilization.Set(mlu)
+	m.PriceUpdates.Inc()
+}
+
 // Server is one provider's iTracker.
 type Server struct {
 	cfg    Config
 	engine *core.Engine
 	pidMap *PIDMap
+	// Metrics, when non-nil, instruments view recomputes and price
+	// updates (see NewMetrics). Set it before serving traffic.
+	Metrics *Metrics
 
 	mu          sync.Mutex
 	cachedView  *core.View
@@ -158,8 +216,10 @@ func (t *Server) Distances(token string) (*core.View, error) {
 		t.inflight = done
 		t.mu.Unlock()
 
+		start := time.Now()
 		pids := t.engine.Graph().AggregationPIDs()
 		view := t.engine.Matrix(pids)
+		t.Metrics.recompute(time.Since(start), view.Version)
 
 		t.mu.Lock()
 		t.cachedView = view
@@ -243,10 +303,25 @@ func (t *Server) LookupPID(ip net.IP) (topology.PID, int, error) {
 
 // ObserveAndUpdate is the provider-side measurement hook: install the
 // latest per-link P4P traffic observation (bits/sec) and run one
-// super-gradient price update.
+// super-gradient price update. When instrumented, it exports the step
+// norm ‖Δp‖₂ and the post-observation MLU — the live convergence
+// signals of the paper's dual decomposition.
 func (t *Server) ObserveAndUpdate(linkRateBps []float64) {
 	t.engine.ObserveTraffic(linkRateBps)
+	var before []float64
+	if t.Metrics != nil {
+		before = t.engine.Prices()
+	}
 	t.engine.Update()
+	if t.Metrics != nil {
+		after := t.engine.Prices()
+		norm := 0.0
+		for i := range after {
+			d := after[i] - before[i]
+			norm += d * d
+		}
+		t.Metrics.update(math.Sqrt(norm), t.engine.MLU())
+	}
 	t.mu.Lock()
 	t.updateCount++
 	t.mu.Unlock()

@@ -1,0 +1,93 @@
+package portal
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/telemetry"
+	"p4p/internal/topology"
+)
+
+// newBenchPortal builds a fully instrumented handler so the benchmarks
+// measure the serving path with telemetry attached — the configuration
+// the binaries actually run.
+func newBenchPortal(b *testing.B) (*Handler, *itracker.Server) {
+	b.Helper()
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	e := core.NewEngine(g, r, core.Config{})
+	tr := itracker.New(itracker.Config{Name: "bench", ASN: 1}, e, itracker.SyntheticPIDMap(g))
+	reg := telemetry.NewRegistry()
+	tr.Metrics = itracker.NewMetrics(reg)
+	h := NewHandler(tr)
+	h.Telemetry.Metrics = telemetry.NewHTTPMetrics(reg, "p4p_http")
+	h.Telemetry.Preregister()
+	return h, tr
+}
+
+// BenchmarkPortalDistances measures a full p4p-distance request:
+// routing, middleware, JSON encoding of the cached view.
+func BenchmarkPortalDistances(b *testing.B) {
+	h, _ := newBenchPortal(b)
+	req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+	// Prime the view cache so iterations measure the steady state.
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkPortalDistances304 measures the conditional-GET fast path:
+// an If-None-Match revalidation that short-circuits to 304.
+func BenchmarkPortalDistances304(b *testing.B) {
+	h, _ := newBenchPortal(b)
+	prime := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, prime)
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		b.Fatal("no ETag on primed response")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+	req.Header.Set("If-None-Match", etag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkViewRecompute measures the price-update + view
+// materialization cycle: one super-gradient step and the p-distance
+// matrix rebuild it invalidates.
+func BenchmarkViewRecompute(b *testing.B) {
+	h, tr := newBenchPortal(b)
+	loads := make([]float64, tr.Engine().Graph().NumLinks())
+	for i := range loads {
+		loads[i] = 1e9 * float64(i%7)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ObserveAndUpdate(loads) // bumps the view version
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // forces the recompute
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"net/url"
@@ -15,6 +15,7 @@ import (
 
 	"p4p/internal/core"
 	"p4p/internal/itracker"
+	"p4p/internal/telemetry"
 )
 
 // RetryPolicy bounds the client's retry loop. Attempts are spaced by
@@ -51,13 +52,20 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // backoff returns the sleep before attempt n (n = 1 after the first
-// try), exponential in n with full jitter.
+// try), exponential in n with full jitter. A non-positive computed
+// delay (zero-valued policy fields, or a shift overflow on large n)
+// yields zero sleep instead of panicking in the jitter draw; the
+// concurrency-safe math/rand/v2 source avoids both the global-lock
+// contention and the seeding pitfalls of the old math/rand global.
 func (p RetryPolicy) backoff(n int) time.Duration {
 	d := p.BaseDelay << uint(n-1)
 	if d > p.MaxDelay || d <= 0 {
 		d = p.MaxDelay
 	}
-	return time.Duration(rand.Int63n(int64(d)) + 1)
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d)) + 1)
 }
 
 // cachedView pairs a decoded view with the ETag it arrived under, for
@@ -65,6 +73,58 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 type cachedView struct {
 	view *core.View
 	etag string
+}
+
+// ClientMetrics instruments a portal client. All methods are nil-safe,
+// so an uninstrumented client pays only a nil check per event.
+type ClientMetrics struct {
+	// Retries counts attempts beyond the first per request.
+	Retries *telemetry.Counter
+	// BackoffSeconds accumulates time spent sleeping between attempts.
+	BackoffSeconds *telemetry.Counter
+	// ETagHits counts 304 revalidations answered from the client's
+	// cached view (no matrix bytes moved over the wire).
+	ETagHits *telemetry.Counter
+	// Failures counts requests that exhausted every attempt.
+	Failures *telemetry.Counter
+}
+
+// NewClientMetrics registers the portal-client metric families.
+func NewClientMetrics(r *telemetry.Registry) *ClientMetrics {
+	return &ClientMetrics{
+		Retries: r.Counter("p4p_client_retries_total",
+			"Portal request attempts beyond the first."),
+		BackoffSeconds: r.Counter("p4p_client_backoff_seconds_total",
+			"Total time spent sleeping in retry backoff."),
+		ETagHits: r.Counter("p4p_client_etag_hits_total",
+			"Distance refreshes answered 304 from the client's ETag cache."),
+		Failures: r.Counter("p4p_client_failures_total",
+			"Portal requests that exhausted every retry attempt."),
+	}
+}
+
+func (m *ClientMetrics) retry() {
+	if m != nil {
+		m.Retries.Inc()
+	}
+}
+
+func (m *ClientMetrics) backoff(d time.Duration) {
+	if m != nil {
+		m.BackoffSeconds.Add(d.Seconds())
+	}
+}
+
+func (m *ClientMetrics) etagHit() {
+	if m != nil {
+		m.ETagHits.Inc()
+	}
+}
+
+func (m *ClientMetrics) failure() {
+	if m != nil {
+		m.Failures.Inc()
+	}
 }
 
 // Client talks to one iTracker portal. It is what an appTracker (or a
@@ -84,6 +144,9 @@ type Client struct {
 	HTTPClient *http.Client
 	// Retry bounds the retry loop; zero values take defaults.
 	Retry RetryPolicy
+	// Metrics, when non-nil, counts retries, backoff time, ETag-cache
+	// hits, and exhausted requests (see NewClientMetrics).
+	Metrics *ClientMetrics
 
 	mu    sync.Mutex
 	views map[string]*cachedView // by form ("raw", "ranks")
@@ -148,11 +211,18 @@ func (c *Client) doGET(ctx context.Context, path string, query url.Values, etag 
 			lastErr = httpErrFromBody(path, status, body)
 		}
 		if attempt >= pol.MaxAttempts || ctx.Err() != nil {
+			c.Metrics.failure()
 			return 0, nil, "", fmt.Errorf("portal: %s: giving up after %d attempt(s): %w", path, attempt, lastErr)
 		}
+		sleep := pol.backoff(attempt)
+		c.Metrics.retry()
+		slept := time.Now()
 		select {
-		case <-time.After(pol.backoff(attempt)):
+		case <-time.After(sleep):
+			c.Metrics.backoff(time.Since(slept))
 		case <-ctx.Done():
+			c.Metrics.backoff(time.Since(slept))
+			c.Metrics.failure()
 			return 0, nil, "", fmt.Errorf("portal: %s: %w (after %d attempt(s): %v)", path, ctx.Err(), attempt, lastErr)
 		}
 	}
@@ -234,6 +304,7 @@ func (c *Client) fetchView(ctx context.Context, form string) (*core.View, error)
 		if cached == nil {
 			return nil, fmt.Errorf("portal: %s: 304 with no cached view", path)
 		}
+		c.Metrics.etagHit()
 		return cached.view, nil
 	case http.StatusOK:
 		var w ViewWire

@@ -62,7 +62,7 @@ func TestWriteJSONEncodeFailure(t *testing.T) {
 	rec := httptest.NewRecorder()
 	// NaN is not encodable as JSON; before the fix this produced a
 	// truncated 200.
-	h.writeJSON(rec, http.StatusOK, map[string]float64{"d": math.NaN()})
+	h.writeJSON(rec, httptest.NewRequest(http.MethodGet, "/", nil), http.StatusOK, map[string]float64{"d": math.NaN()})
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rec.Code)
 	}
@@ -110,7 +110,7 @@ func TestConditionalGETServer(t *testing.T) {
 	if got := get("*").StatusCode; got != http.StatusNotModified {
 		t.Fatalf("wildcard revalidation = %d", got)
 	}
-	if got := get(`"bogus", `+etag).StatusCode; got != http.StatusNotModified {
+	if got := get(`"bogus", ` + etag).StatusCode; got != http.StatusNotModified {
 		t.Fatalf("list revalidation = %d", got)
 	}
 

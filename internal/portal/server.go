@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
 
 	"p4p/internal/core"
 	"p4p/internal/itracker"
+	"p4p/internal/telemetry"
 )
 
 // tokenHeader carries the caller's trust token.
@@ -28,39 +29,51 @@ const tokenHeader = "X-P4P-Token"
 // derived from the engine version, and requests presenting a current
 // version via If-None-Match get 304 Not Modified with no body, so
 // refreshing appTrackers pay nothing when the view has not changed.
+//
+// Every route runs through Telemetry, which mints a request ID (echoed
+// in X-Request-ID and carried on the request context), records
+// per-route request counts, status classes, and latency histograms,
+// counts 304 ETag hits, and emits one structured log line per request.
+// Set Telemetry.Metrics and Telemetry.Logger after NewHandler, before
+// serving.
 type Handler struct {
 	Tracker *itracker.Server
-	// Log, if non-nil, receives one line per request.
-	Log *log.Logger
-	mux *http.ServeMux
+	// Telemetry instruments and logs every route; its zero value is
+	// inert. Set its fields, do not replace the struct (route
+	// registrations live inside it).
+	Telemetry telemetry.Middleware
+	mux       *http.ServeMux
 }
 
 // NewHandler builds the HTTP handler for an iTracker.
 func NewHandler(tr *itracker.Server) *Handler {
 	h := &Handler{Tracker: tr, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /p4p/v1/policy", h.handlePolicy)
-	h.mux.HandleFunc("GET /p4p/v1/distances", h.handleDistances)
-	h.mux.HandleFunc("GET /p4p/v1/capabilities", h.handleCapabilities)
-	h.mux.HandleFunc("GET /p4p/v1/pid", h.handlePID)
+	h.route("GET /p4p/v1/policy", "policy", h.handlePolicy)
+	h.route("GET /p4p/v1/distances", "distances", h.handleDistances)
+	h.route("GET /p4p/v1/capabilities", "capabilities", h.handleCapabilities)
+	h.route("GET /p4p/v1/pid", "pid", h.handlePID)
 	return h
+}
+
+func (h *Handler) route(pattern, name string, fn http.HandlerFunc) {
+	h.mux.Handle(pattern, h.Telemetry.RouteFunc(name, fn))
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if h.Log != nil {
-		h.Log.Printf("%s %s from %s", r.Method, r.URL, r.RemoteAddr)
-	}
 	h.mux.ServeHTTP(w, r)
 }
 
 // writeJSON encodes v to a buffer before touching the ResponseWriter,
 // so an encoding failure (e.g. a NaN sneaking into a matrix) yields a
 // clean 500 error envelope instead of a truncated HTTP 200.
-func (h *Handler) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func (h *Handler) writeJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		if h.Log != nil {
-			h.Log.Printf("encode response: %v", err)
+		if l := h.Telemetry.Logger; l != nil {
+			l.Error("encode response",
+				slog.String("request_id", telemetry.RequestID(r.Context())),
+				slog.String("error", err.Error()))
 		}
 		status = http.StatusInternalServerError
 		body, _ = json.Marshal(errorWire{Error: "response encoding failed"})
@@ -70,21 +83,21 @@ func (h *Handler) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Write(append(body, '\n'))
 }
 
-func (h *Handler) writeErr(w http.ResponseWriter, err error) {
+func (h *Handler) writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	if errors.Is(err, itracker.ErrAccessDenied) {
 		status = http.StatusForbidden
 	}
-	h.writeJSON(w, status, errorWire{Error: err.Error()})
+	h.writeJSON(w, r, status, errorWire{Error: err.Error()})
 }
 
 func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	pol, err := h.Tracker.PolicyFor(r.Header.Get(tokenHeader))
 	if err != nil {
-		h.writeErr(w, err)
+		h.writeErr(w, r, err)
 		return
 	}
-	h.writeJSON(w, http.StatusOK, pol)
+	h.writeJSON(w, r, http.StatusOK, pol)
 }
 
 // viewETag derives the distances ETag from the engine version and the
@@ -113,7 +126,7 @@ func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
 		form = "raw"
 	}
 	if form != "raw" && form != "ranks" {
-		h.writeJSON(w, http.StatusBadRequest, errorWire{Error: "unknown form; use raw or ranks"})
+		h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: "unknown form; use raw or ranks"})
 		return
 	}
 	// Conditional GET: a client whose cached version is still current
@@ -134,36 +147,36 @@ func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
 		v, err = h.Tracker.RankedDistances(token)
 	}
 	if err != nil {
-		h.writeErr(w, err)
+		h.writeErr(w, r, err)
 		return
 	}
 	w.Header().Set("ETag", viewETag(v.Version, form))
-	h.writeJSON(w, http.StatusOK, ToWire(v))
+	h.writeJSON(w, r, http.StatusOK, ToWire(v))
 }
 
 func (h *Handler) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	caps, err := h.Tracker.Capabilities(r.Header.Get(tokenHeader), r.URL.Query().Get("kind"))
 	if err != nil {
-		h.writeErr(w, err)
+		h.writeErr(w, r, err)
 		return
 	}
 	if caps == nil {
 		caps = []itracker.Capability{}
 	}
-	h.writeJSON(w, http.StatusOK, caps)
+	h.writeJSON(w, r, http.StatusOK, caps)
 }
 
 func (h *Handler) handlePID(w http.ResponseWriter, r *http.Request) {
 	ipStr := r.URL.Query().Get("ip")
 	ip := net.ParseIP(ipStr)
 	if ip == nil {
-		h.writeJSON(w, http.StatusBadRequest, errorWire{Error: "missing or malformed ip parameter"})
+		h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: "missing or malformed ip parameter"})
 		return
 	}
 	pid, asn, err := h.Tracker.LookupPID(ip)
 	if err != nil {
-		h.writeJSON(w, http.StatusNotFound, errorWire{Error: err.Error()})
+		h.writeJSON(w, r, http.StatusNotFound, errorWire{Error: err.Error()})
 		return
 	}
-	h.writeJSON(w, http.StatusOK, PIDLookupWire{PID: pid, ASN: asn})
+	h.writeJSON(w, r, http.StatusOK, PIDLookupWire{PID: pid, ASN: asn})
 }

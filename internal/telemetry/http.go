@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics is the per-route instrumentation both binaries mount:
+// request counts by status class, latency histograms, and a counter of
+// 304 Not Modified responses (the ETag-revalidation hit rate is
+// etag_hits / requests on the same route).
+type HTTPMetrics struct {
+	requests *CounterVec   // <prefix>_requests_total{route,class}
+	latency  *HistogramVec // <prefix>_request_duration_seconds{route}
+	etagHits *CounterVec   // <prefix>_etag_hits_total{route}
+}
+
+// NewHTTPMetrics registers the HTTP metric families under the given
+// name prefix (e.g. "p4p_http").
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec(prefix+"_requests_total",
+			"HTTP requests served, by route and status class.", "route", "class"),
+		latency: r.HistogramVec(prefix+"_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", nil, "route"),
+		etagHits: r.CounterVec(prefix+"_etag_hits_total",
+			"Conditional GETs answered 304 Not Modified, by route.", "route"),
+	}
+}
+
+// statusClass buckets an HTTP status for the class label.
+func statusClass(status int) string {
+	switch {
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// Observe records one served request. Nil receivers are no-ops so call
+// sites need no guards.
+func (m *HTTPMetrics) Observe(route string, status int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.requests.With(route, statusClass(status)).Inc()
+	m.latency.With(route).Observe(d.Seconds())
+	if status == http.StatusNotModified {
+		m.etagHits.With(route).Inc()
+	}
+}
+
+// Preregister creates the route's children at zero so a scrape shows
+// the full schema before the first request arrives.
+func (m *HTTPMetrics) Preregister(route string) {
+	if m == nil {
+		return
+	}
+	for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		m.requests.With(route, class)
+	}
+	m.latency.With(route)
+	m.etagHits.With(route)
+}
+
+// reqIDKey is the context key carrying the request ID.
+type reqIDKey struct{}
+
+var (
+	reqPrefix = fmt.Sprintf("%08x", rand.Uint32())
+	reqSeq    atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request ID: a per-process
+// random prefix plus a sequence number.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}
+
+// ContextWithRequestID attaches a request ID to a context.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// StatusWriter wraps a ResponseWriter to capture the status code and
+// bytes written for after-the-fact metrics and logging.
+type StatusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status before delegating.
+func (w *StatusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// Write counts bytes, defaulting the status to 200 like net/http.
+func (w *StatusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the recorded status (200 when the handler wrote a body
+// without calling WriteHeader; 0 if nothing was written).
+func (w *StatusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Unwrap supports http.ResponseController.
+func (w *StatusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Middleware wires metrics and structured logging around named routes.
+// Both fields are optional and may be set after routes are registered
+// (but before serving): each request consults them live. The zero value
+// is ready to use.
+type Middleware struct {
+	// Metrics, when non-nil, receives one Observe per request.
+	Metrics *HTTPMetrics
+	// Logger, when non-nil, logs one structured line per request,
+	// carrying the request ID.
+	Logger *slog.Logger
+
+	mu     sync.Mutex
+	routes []string
+}
+
+// Route wraps next with instrumentation under the given route name:
+// a request ID is minted and attached to the context and the
+// X-Request-ID response header, the status and latency are recorded
+// against the route, and one slog line is emitted.
+func (mw *Middleware) Route(route string, next http.Handler) http.Handler {
+	mw.mu.Lock()
+	mw.routes = append(mw.routes, route)
+	mw.mu.Unlock()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := NewRequestID()
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		sw := &StatusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		d := time.Since(start)
+		mw.Metrics.Observe(route, sw.Status(), d)
+		if mw.Logger != nil {
+			mw.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", id),
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("remote", r.RemoteAddr),
+				slog.Int("status", sw.Status()),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", d),
+			)
+		}
+	})
+}
+
+// RouteFunc is Route for handler functions.
+func (mw *Middleware) RouteFunc(route string, next http.HandlerFunc) http.Handler {
+	return mw.Route(route, next)
+}
+
+// Preregister creates zero-valued metric children for every route seen
+// so far, so GET /metrics shows the full schema before traffic arrives.
+// Call it after setting Metrics and registering routes.
+func (mw *Middleware) Preregister() {
+	mw.mu.Lock()
+	routes := append([]string(nil), mw.routes...)
+	mw.mu.Unlock()
+	for _, r := range routes {
+		mw.Metrics.Preregister(r)
+	}
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/. Both binaries call this behind a -pprof flag, keeping
+// the profiling surface off by default.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

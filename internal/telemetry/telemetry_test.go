@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExposition is the golden test for the text format: one
+// family of each type, labelled and unlabelled, rendered byte-exact.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("p4p_events_total", "Events seen.")
+	c.Add(3)
+	cv := r.CounterVec("p4p_http_requests_total", "Requests by route.", "route", "class")
+	cv.With("distances", "2xx").Add(2)
+	cv.With("distances", "3xx").Inc()
+	cv.With("pid", "4xx").Inc()
+	g := r.Gauge("p4p_mlu", "Max link utilization.")
+	g.Set(0.75)
+	h := r.Histogram("p4p_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(42)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP p4p_events_total Events seen.
+# TYPE p4p_events_total counter
+p4p_events_total 3
+# HELP p4p_http_requests_total Requests by route.
+# TYPE p4p_http_requests_total counter
+p4p_http_requests_total{route="distances",class="2xx"} 2
+p4p_http_requests_total{route="distances",class="3xx"} 1
+p4p_http_requests_total{route="pid",class="4xx"} 1
+# HELP p4p_mlu Max link utilization.
+# TYPE p4p_mlu gauge
+p4p_mlu 0.75
+# HELP p4p_latency_seconds Latency.
+# TYPE p4p_latency_seconds histogram
+p4p_latency_seconds_bucket{le="0.1"} 1
+p4p_latency_seconds_bucket{le="1"} 3
+p4p_latency_seconds_bucket{le="+Inf"} 4
+p4p_latency_seconds_sum 43.05
+p4p_latency_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m", "h", "l").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `m{l="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label missing; exposition:\n%s", b.String())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h")
+	b := r.Counter("c", "h")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-mismatched re-registration should panic")
+		}
+	}()
+	r.Gauge("c", "h")
+}
+
+func TestHistogramBounds(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	h.Observe(1) // inclusive upper bound
+	h.Observe(10)
+	h.Observe(11)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("le=1 bucket = %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("le=10 bucket = %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", got)
+	}
+	if h.Count() != 3 || h.Sum() != 22 {
+		t.Errorf("count=%d sum=%v, want 3, 22", h.Count(), h.Sum())
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %v, want 5", c.Value())
+	}
+}
+
+func TestGaugeValues(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if fv := formatValue(g.Value()); fv != "+Inf" {
+		t.Errorf("inf gauge renders %q", fv)
+	}
+}
+
+// TestConcurrentUpdates hammers every metric kind from many goroutines;
+// run under -race this proves the registry is race-safe, and the totals
+// prove no update is lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("hist", "h", []float64{0.5})
+	cv := r.CounterVec("cv", "h", "worker")
+	hv := r.HistogramVec("hv", "h", []float64{0.5}, "worker")
+
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 2)) // alternates buckets
+				cv.With(name).Inc()
+				hv.With(name).Observe(0.25)
+				// Interleave scrapes with updates.
+				if i%500 == 0 {
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := float64(workers * perWorker)
+	if c.Value() != total {
+		t.Errorf("counter = %v, want %v", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %v, want %v", g.Value(), total)
+	}
+	if h.Count() != uint64(total) {
+		t.Errorf("histogram count = %d, want %v", h.Count(), total)
+	}
+	var vecTotal float64
+	for _, name := range []string{"a", "b", "c", "d"} {
+		vecTotal += cv.With(name).Value()
+	}
+	if vecTotal != total {
+		t.Errorf("vec total = %v, want %v", vecTotal, total)
+	}
+}

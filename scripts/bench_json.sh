@@ -1,0 +1,43 @@
+#!/bin/sh
+# Run the portal benchmarks (request path, 304 revalidation, view
+# recompute) and emit the results as JSON at BENCH_portal.json in the
+# repo root, so runs can be diffed across commits. Stdlib tooling only:
+# go test -bench output parsed with awk.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_portal.json
+RAW=$(go test -run '^$' -bench 'BenchmarkPortal|BenchmarkViewRecompute' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/portal/)
+
+printf '%s\n' "$RAW"
+printf '%s\n' "$RAW" | awk '
+BEGIN { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    # BenchmarkName-8  123456  987 ns/op  64 B/op  2 allocs/op
+    name = $1; sub(/-[0-9]+$/, "", name)
+    bench[n]  = name
+    iters[n]  = $2
+    nsop[n]   = $3
+    bop[n]    = $5
+    allocs[n] = $7
+    n++
+}
+END {
+    printf "{\n"
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            bench[i], iters[i], nsop[i], bop[i], allocs[i], (i < n-1 ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' >"$OUT"
+
+echo ">> wrote $OUT"

@@ -4,6 +4,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo '>> gofmt -l'
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
 echo '>> go vet ./...'
 go vet ./...
 echo '>> go build ./...'
