@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-json
+.PHONY: build test race vet p4pvet verify fuzz-smoke bench bench-json
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,21 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static analysis (lockheld, respwrite, ctxflow,
+# floatsentinel, sleeptest). Part of the verify gate; also runnable
+# standalone.
+p4pvet:
+	$(GO) run ./cmd/p4pvet ./...
+
 # Tier-1 verification gate (see ROADMAP.md).
 verify:
 	sh scripts/verify.sh
+
+# Run each native fuzz target for ~10s against its checked-in seed
+# corpus. Not part of verify; intended for CI and pre-release runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzFromWire$$' -fuzztime 10s ./internal/portal
+	$(GO) test -run '^$$' -fuzz '^FuzzExpositionParse$$' -fuzztime 10s ./internal/telemetry
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,126 @@
+// Command p4pvet runs the repo's own static analyzers (see
+// internal/analysis and DESIGN.md §8) over the module and fails when
+// any invariant is violated without an explicit, reasoned
+// //p4pvet:ignore suppression.
+//
+// Usage:
+//
+//	p4pvet [-C dir] [-rules r1,r2] [-list] [-v] [./...]
+//
+// With no package arguments (or the literal "./...") the whole module
+// rooted at -C is checked; otherwise each argument names a package
+// directory relative to -C. Findings print as
+//
+//	file:line: [rule] message
+//
+// and the exit status is 1 when any finding survives suppression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p4p/internal/analysis"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root to analyze")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default all)")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	verbose := flag.Bool("v", false, "also report per-package suppression counts")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4pvet:", err)
+		os.Exit(2)
+	}
+
+	absRoot, err := filepath.Abs(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4pvet:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loadTargets(loader, absRoot, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4pvet:", err)
+		os.Exit(2)
+	}
+
+	findings, suppressed := 0, 0
+	for _, p := range pkgs {
+		kept, sup := analysis.RunAll(p, analyzers)
+		suppressed += sup
+		if *verbose && sup > 0 {
+			fmt.Fprintf(os.Stderr, "p4pvet: %s: %d suppressed finding(s)\n", p.ImportPath, sup)
+		}
+		for _, f := range kept {
+			findings++
+			fmt.Printf("%s:%d: [%s] %s\n", relPath(absRoot, f.Pos.Filename), f.Pos.Line, f.Rule, f.Msg)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "p4pvet: %d finding(s), %d suppressed\n", findings, suppressed)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "p4pvet: clean (%d package(s), %d suppressed finding(s))\n", len(pkgs), suppressed)
+	}
+}
+
+// selectAnalyzers resolves the -rules flag against the registry.
+func selectAnalyzers(rules string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// loadTargets loads the whole module, or just the named directories.
+func loadTargets(loader *analysis.Loader, root string, args []string) ([]*analysis.Pkg, error) {
+	if len(args) == 0 || (len(args) == 1 && args[0] == "./...") {
+		return loader.LoadModule(root)
+	}
+	var pkgs []*analysis.Pkg
+	for _, arg := range args {
+		dir := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(arg, "/...")))
+		got, err := loader.LoadTree(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	return pkgs, nil
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

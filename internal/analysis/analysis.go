@@ -1,0 +1,178 @@
+// Package analysis hosts p4pvet's repo-specific static analyzers. Each
+// analyzer mechanically enforces an invariant whose violation has
+// already cost this codebase a production-class bug (see DESIGN.md §8):
+//
+//   - lockheld: no sync mutex held across I/O, network, or JSON
+//     encode/decode calls (the serialized-distance-query bug).
+//   - respwrite: no json.Encoder writing straight into an
+//     http.ResponseWriter (the truncated-200 bug).
+//   - ctxflow: library code threads the caller's context.Context
+//     instead of minting context.Background()/TODO().
+//   - floatsentinel: no ==/!= between float expressions and non-zero
+//     constants (the d == Unreachable wire-sentinel pattern).
+//   - sleeptest: no wall-clock time.Sleep in _test.go files (the
+//     flaky-under-race test class).
+//
+// Findings can be suppressed, one rule at a time, with a mandatory
+// reason:
+//
+//	//p4pvet:ignore <rule> <reason...>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above it. A suppression without a reason (or naming an
+// unknown rule) is itself reported under the rule name "suppress".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pkg) []Finding
+}
+
+// Analyzers returns every registered analyzer, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockHeld, RespWrite, CtxFlow, FloatSentinel, SleepTest}
+}
+
+// suppressRule names the pseudo-rule under which malformed
+// //p4pvet:ignore comments are reported.
+const suppressRule = "suppress"
+
+const ignoreMarker = "p4pvet:ignore"
+
+// Suppressions indexes //p4pvet:ignore comments by file and line.
+type Suppressions struct {
+	// byLine maps filename -> line -> set of suppressed rules.
+	byLine map[string]map[int]map[string]bool
+}
+
+// Suppressed reports whether a finding is covered by an ignore comment
+// on its own line or the line above.
+func (s *Suppressions) Suppressed(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if lines[line][f.Rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSuppressions scans a package's comments for //p4pvet:ignore
+// markers. Malformed markers — a missing reason, or a rule no analyzer
+// implements — are returned as findings so they fail the build instead
+// of silently suppressing nothing.
+func ParseSuppressions(p *Pkg) (*Suppressions, []Finding) {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	s := &Suppressions{byLine: map[string]map[int]map[string]bool{}}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignoreMarker)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{Pos: pos, Rule: suppressRule,
+						Msg: "p4pvet:ignore needs a rule name and a reason"})
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					bad = append(bad, Finding{Pos: pos, Rule: suppressRule,
+						Msg: fmt.Sprintf("p4pvet:ignore names unknown rule %q", rule)})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{Pos: pos, Rule: suppressRule,
+						Msg: fmt.Sprintf("p4pvet:ignore %s is missing its mandatory reason", rule)})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s.byLine[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][rule] = true
+			}
+		}
+	}
+	return s, bad
+}
+
+// RunAll runs the given analyzers over a package and applies its
+// suppressions, returning the live findings and the count of
+// suppressed ones. Malformed suppressions are appended as "suppress"
+// findings.
+func RunAll(p *Pkg, analyzers []*Analyzer) (kept []Finding, suppressed int) {
+	sup, bad := ParseSuppressions(p)
+	var all []Finding
+	for _, a := range analyzers {
+		all = append(all, a.Run(p)...)
+	}
+	for _, f := range all {
+		if sup.Suppressed(f) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return kept, suppressed
+}
+
+// inspectSkippingFuncLits walks n, calling fn for every node, but does
+// not descend into function literals: their bodies execute under their
+// own locking discipline, not the enclosing function's.
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import "go/ast"
+
+// CtxFlow flags context.Background() and context.TODO() in library
+// packages. A library that mints its own root context detaches the
+// work from the caller's deadline and cancellation — the portal client
+// and view cache must die with their caller, not outlive it. Roots
+// belong at the program edge: package main (cmd/, examples/) and test
+// files are exempt, and the documented non-Context convenience
+// wrappers carry explicit //p4pvet:ignore suppressions.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library code threads the caller's context; no Background()/TODO() outside main and tests",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pkg) []Finding {
+	if p.Types.Name() == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || funcPkgPath(fn) != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "ctxflow",
+					Msg:  "context." + name + "() in library code detaches work from the caller's deadline; accept and thread a context.Context",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

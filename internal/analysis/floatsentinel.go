@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatSentinel flags ==/!= comparisons between a floating-point
+// expression and a non-zero constant in non-test code. The wire format
+// encodes unreachable distances as -1; FromWire's original
+// `d == Unreachable` accepted exactly -1 and mis-decoded every other
+// negative (or nearly-minus-one) value a hostile or lossy peer could
+// send. Sentinel checks on floats must be range predicates (d < 0) or
+// math.IsInf/IsNaN, not exact equality. Comparison against exactly
+// zero is exempt: zero is preserved by the wire and is the idiomatic
+// unset value.
+var FloatSentinel = &Analyzer{
+	Name: "floatsentinel",
+	Doc:  "no ==/!= between float expressions and non-zero constants; use range predicates",
+	Run:  runFloatSentinel,
+}
+
+func runFloatSentinel(p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, bin.X) && !isFloat(p, bin.Y) {
+				return true
+			}
+			cx, cy := constValue(p, bin.X), constValue(p, bin.Y)
+			if cx != nil && cy != nil {
+				return true // constant folding; decided at compile time
+			}
+			c := cx
+			if c == nil {
+				c = cy
+			}
+			if c == nil || isZero(c) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(bin.Pos()),
+				Rule: "floatsentinel",
+				Msg:  "float compared " + bin.Op.String() + " against constant " + c.String() + "; use a range predicate (e.g. d < 0) or math.IsInf/IsNaN for sentinels",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(p *Pkg, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func constValue(p *Pkg, e ast.Expr) constant.Value {
+	return p.Info.Types[e].Value
+}
+
+func isZero(v constant.Value) bool {
+	if v.Kind() != constant.Int && v.Kind() != constant.Float {
+		return false
+	}
+	return constant.Compare(v, token.EQL, constant.MakeInt64(0))
+}

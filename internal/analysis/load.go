@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one typechecked unit handed to the analyzers: a package's
+// compiled files plus its in-package test files, or the external
+// _test package of a directory. Test files ride in the same unit so
+// rules that care about them (sleeptest) and rules that exempt them
+// (ctxflow, respwrite, floatsentinel) see one consistent view.
+type Pkg struct {
+	Fset       *token.FileSet
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	// IsTestFile marks files named *_test.go.
+	IsTestFile map[*ast.File]bool
+	Info       *types.Info
+	Types      *types.Package
+}
+
+// Loader parses and typechecks packages with nothing beyond the
+// standard library: go/parser for syntax and the go/importer "source"
+// importer for dependencies, which resolves module-local import paths
+// through go/build (and caches each dependency across packages, so the
+// module is typechecked roughly once).
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader builds a loader. It forces cgo off in go/build's default
+// context so that cgo-using stdlib packages (net, os/user) resolve to
+// their pure-Go variants, which the source importer can typecheck
+// without invoking the C toolchain.
+func NewLoader() *Loader {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir parses and typechecks the package in dir under the given
+// import path. It returns up to two units: the package itself
+// (including in-package test files) and, when present, the external
+// _test package. A directory with no Go files returns no units.
+func (l *Loader) LoadDir(dir, importPath string) ([]*Pkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []parsedFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, parsedFile{file: f, isTest: strings.HasSuffix(name, "_test.go")})
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Split into the package unit and the external _test unit by
+	// package clause; in-package test files stay with the package.
+	var baseName string
+	for _, p := range files {
+		if !strings.HasSuffix(p.file.Name.Name, "_test") {
+			baseName = p.file.Name.Name
+			break
+		}
+	}
+	var base, xtest []parsedFile
+	for _, p := range files {
+		if strings.HasSuffix(p.file.Name.Name, "_test") && p.file.Name.Name != baseName {
+			xtest = append(xtest, p)
+		} else {
+			base = append(base, p)
+		}
+	}
+
+	var pkgs []*Pkg
+	if len(base) > 0 {
+		pkg, err := l.check(importPath, dir, base)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", importPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(xtest) > 0 {
+		pkg, err := l.check(importPath+"_test", dir, xtest)
+		if err != nil {
+			return nil, fmt.Errorf("%s_test: %w", importPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parsedFile pairs a parsed file with whether it is a _test.go file.
+type parsedFile struct {
+	file   *ast.File
+	isTest bool
+}
+
+func (l *Loader) check(importPath, dir string, files []parsedFile) (*Pkg, error) {
+	asts := make([]*ast.File, len(files))
+	isTest := make(map[*ast.File]bool, len(files))
+	for i, p := range files {
+		asts[i] = p.file
+		isTest[p.file] = p.isTest
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, asts, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Pkg{
+		Fset:       l.fset,
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      asts,
+		IsTestFile: isTest,
+		Info:       info,
+		Types:      tpkg,
+	}, nil
+}
+
+// LoadModule walks the module rooted at root (its go.mod names the
+// module path) and loads every package directory, skipping testdata,
+// VCS, and hidden directories.
+func (l *Loader) LoadModule(root string) ([]*Pkg, error) {
+	return l.LoadTree(root, root)
+}
+
+// LoadTree loads every package directory under start, resolving import
+// paths against the module rooted at root.
+func (l *Loader) LoadTree(root, start string) ([]*Pkg, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Pkg
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		got, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	return pkgs, nil
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}

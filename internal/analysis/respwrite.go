@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// RespWrite flags json.NewEncoder constructed directly on an
+// http.ResponseWriter in non-test code. Encoding straight into the
+// response commits the 200 status on the first internal write; if the
+// value then fails to encode (a NaN in a matrix, a broken Marshaler)
+// the client receives a truncated 200 instead of an error. This is the
+// PR 1 bug class; the fix is a buffered helper (portal's writeJSON)
+// that marshals fully before touching the writer and turns encode
+// failures into 500 envelopes.
+var RespWrite = &Analyzer{
+	Name: "respwrite",
+	Doc:  "no json.Encoder writing directly into an http.ResponseWriter; buffer first",
+	Run:  runRespWrite,
+}
+
+func runRespWrite(p *Pkg) []Finding {
+	iface := responseWriterInterface(p)
+	if iface == nil {
+		return nil // package graph never touches net/http
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Name() != "NewEncoder" || funcPkgPath(fn) != "encoding/json" {
+				return true
+			}
+			argT := p.Info.TypeOf(call.Args[0])
+			if argT == nil || !types.Implements(argT, iface) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: "respwrite",
+				Msg: fmt.Sprintf("json.NewEncoder on %s commits the status before encoding can fail; marshal to a buffer (writeJSON) so errors become 500 envelopes",
+					types.TypeString(argT, types.RelativeTo(p.Types))),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// responseWriterInterface digs net/http.ResponseWriter out of the
+// package's transitive imports, or nil when net/http is not imported.
+func responseWriterInterface(p *Pkg) *types.Interface {
+	httpPkg := findImport(p.Types, "net/http")
+	if httpPkg == nil {
+		return nil
+	}
+	obj, ok := httpPkg.Scope().Lookup("ResponseWriter").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import "go/ast"
+
+// SleepTest flags wall-clock time.Sleep calls in _test.go files. A
+// sleep in a test encodes an assumption about scheduler latency that
+// loaded CI machines routinely violate, producing flakes that are then
+// "fixed" by sleeping longer; under -race the slowdown makes the
+// assumption worse. Tests must synchronize on channels or inject a
+// fake clock (see internal/apptracker's views tests for both
+// patterns). time.After inside a select used as a watchdog timeout is
+// deliberately not flagged: it bounds a hang, it does not pace the
+// test.
+var SleepTest = &Analyzer{
+	Name: "sleeptest",
+	Doc:  "no wall-clock time.Sleep in _test.go files; synchronize on channels or inject a clock",
+	Run:  runSleepTest,
+}
+
+func runSleepTest(p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if !p.IsTestFile[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Name() != "Sleep" || funcPkgPath(fn) != "time" || isMethod(fn) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Rule: "sleeptest",
+				Msg:  "time.Sleep in a test races the scheduler; synchronize on a channel or inject a clock",
+			})
+			return true
+		})
+	}
+	return out
+}

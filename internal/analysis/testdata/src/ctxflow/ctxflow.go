@@ -1,0 +1,29 @@
+// Package ctxflow exercises the ctxflow analyzer: library code minting
+// context roots fires; threading the caller's context stays silent.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// bad mints its own root, detaching work from the caller's deadline.
+func bad() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want ctxflow
+	defer cancel()
+	return work(ctx)
+}
+
+// badTODO is the same defect spelled TODO.
+func badTODO() error {
+	return work(context.TODO()) // want ctxflow
+}
+
+// good threads the caller's context.
+func good(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

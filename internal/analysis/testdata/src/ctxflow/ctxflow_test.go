@@ -1,0 +1,13 @@
+package ctxflow
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests are the program edge: a root context here is fine.
+func TestRootContextAllowed(t *testing.T) {
+	if err := work(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

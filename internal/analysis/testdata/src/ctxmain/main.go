@@ -1,0 +1,10 @@
+// Command ctxmain exercises the ctxflow analyzer's exemption for
+// package main: binaries own their root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

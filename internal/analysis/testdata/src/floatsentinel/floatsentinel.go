@@ -1,0 +1,36 @@
+// Package floatsentinel exercises the floatsentinel analyzer: exact
+// float equality against non-zero constants fires; range predicates,
+// zero checks, and integer comparisons stay silent.
+package floatsentinel
+
+const unreachable = -1
+
+// bad compares exactly against the wire sentinel.
+func bad(d float64) bool {
+	return d == unreachable // want floatsentinel
+}
+
+// badNeq is the same defect with a literal and !=.
+func badNeq(d float64) bool {
+	return d != 1.5 // want floatsentinel
+}
+
+// good uses a range predicate for the sentinel.
+func good(d float64) bool {
+	return d < 0
+}
+
+// goodZero compares against exactly zero, the idiomatic unset value.
+func goodZero(d float64) bool {
+	return d == 0
+}
+
+// goodInt compares integers, which is exact.
+func goodInt(n int) bool {
+	return n == -1
+}
+
+// goodVars compares two non-constant floats; not a sentinel check.
+func goodVars(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,40 @@
+// Package respwrite exercises the respwrite analyzer: a json.Encoder
+// constructed on an http.ResponseWriter fires; buffered writes and
+// encoders over plain buffers stay silent.
+package respwrite
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+type payload struct{ OK bool }
+
+// bad encodes straight into the response, committing the 200 before
+// the encode can fail.
+func bad(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(payload{OK: true}) // want respwrite
+}
+
+// badVar is the same defect with the encoder named first.
+func badVar(w http.ResponseWriter, r *http.Request) {
+	enc := json.NewEncoder(w) // want respwrite
+	enc.Encode(payload{OK: true})
+}
+
+// good marshals to a buffer first so failures become clean 500s.
+func good(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(payload{OK: true})
+	if err != nil {
+		http.Error(w, "encode failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// goodBuffer encodes into a plain buffer; no response is at stake.
+func goodBuffer(buf *bytes.Buffer) error {
+	return json.NewEncoder(buf).Encode(payload{OK: true})
+}

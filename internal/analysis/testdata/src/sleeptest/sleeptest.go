@@ -1,0 +1,10 @@
+// Package sleeptest exercises the sleeptest analyzer: production code
+// may sleep (backoff loops do); _test.go files may not.
+package sleeptest
+
+import "time"
+
+// Backoff sleeps in production code; the rule does not apply here.
+func Backoff() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,23 @@
+package sleeptest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBad paces itself with a wall-clock sleep.
+func TestBad(t *testing.T) {
+	time.Sleep(time.Millisecond) // want sleeptest
+}
+
+// TestGoodWatchdog uses time.After only to bound a hang, which is not
+// flagged: it does not pace the test.
+func TestGoodWatchdog(t *testing.T) {
+	done := make(chan struct{}, 1)
+	done <- struct{}{}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("watchdog")
+	}
+}

@@ -1,0 +1,33 @@
+// Package suppress exercises //p4pvet:ignore handling: reasoned
+// suppressions (preceding line or trailing) silence a finding;
+// missing reasons and unknown rules are themselves reported.
+package suppress
+
+import "context"
+
+// wrapped carries a reasoned suppression on the preceding line.
+func wrapped() error {
+	//p4pvet:ignore ctxflow documented convenience wrapper kept for callers without a context
+	return work(context.Background())
+}
+
+// trailing carries a reasoned suppression at the end of the line.
+func trailing() error {
+	return work(context.TODO()) //p4pvet:ignore ctxflow scheduled for removal with the legacy non-context API
+}
+
+// missingReason does not suppress: the marker lacks its reason.
+func missingReason() error {
+	//p4pvet:ignore ctxflow
+	return work(context.Background()) // want ctxflow
+}
+
+// unknownRule does not suppress: no analyzer is named nosuchrule.
+func unknownRule() error {
+	//p4pvet:ignore nosuchrule because the rule name is mistyped
+	return work(context.Background()) // want ctxflow
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

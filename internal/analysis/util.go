@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the *types.Func a call expression statically
+// invokes: a package-level function, a method (through the selection),
+// or nil for builtins, conversions, and calls of stored function
+// values.
+func calleeFunc(p *Pkg, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call (pkg.Func).
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f, or
+// "" when there is none (builtins, error.Error).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isMethod reports whether f has a receiver.
+func isMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// findImport locates an import path in the transitive imports of a
+// typechecked package, so analyzers can reference types (e.g.
+// net/http.ResponseWriter) from whichever load of that package this
+// unit saw.
+func findImport(start *types.Package, path string) *types.Package {
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == path {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if got := walk(imp); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	return walk(start)
+}

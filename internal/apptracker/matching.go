@@ -103,6 +103,7 @@ func uniformMatching(s core.Session) *Matching {
 }
 
 func pow(x, g float64) float64 {
+	//p4pvet:ignore floatsentinel exact fast path, not a sentinel: g is a config value set literally to 1, and math.Pow(x, g) agrees whenever g is not exactly 1
 	if g == 1 {
 		return x
 	}

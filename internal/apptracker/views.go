@@ -125,12 +125,24 @@ type PortalViews struct {
 	// telemetry registry (see NewViewMetrics).
 	Metrics *ViewMetrics
 
+	// nowFn, when non-nil, replaces time.Now so tests can drive the
+	// TTL and backoff windows with a fake clock instead of sleeping.
+	nowFn func() time.Time
+
 	mu         sync.Mutex
 	view       *core.View
 	fetched    time.Time
 	nextRetry  time.Time
 	refreshing bool
 	stats      ViewStats
+}
+
+// now reads the injected clock, defaulting to the wall clock.
+func (p *PortalViews) now() time.Time {
+	if p.nowFn != nil {
+		return p.nowFn()
+	}
+	return time.Now()
 }
 
 // NewPortalViews builds a PortalViews with default timings.
@@ -162,7 +174,7 @@ func (p *PortalViews) failureBackoff() time.Duration {
 // ViewFor implements ViewProvider. The ASN argument is unused: one
 // PortalViews speaks for the one iTracker its client points at.
 func (p *PortalViews) ViewFor(asn int) DistanceView {
-	now := time.Now()
+	now := p.now()
 	p.mu.Lock()
 	fresh := p.view != nil && now.Sub(p.fetched) < p.ttl()
 	if fresh || p.refreshing || now.Before(p.nextRetry) {
@@ -188,6 +200,7 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 	p.refreshing = true
 	p.mu.Unlock()
 
+	//p4pvet:ignore ctxflow ViewFor implements the context-free ViewProvider interface; RefreshTimeout is the refresh's only ancestor deadline
 	ctx, cancel := context.WithTimeout(context.Background(), p.refreshTimeout())
 	v, err := p.Client.DistancesContext(ctx)
 	cancel()
@@ -197,7 +210,7 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 	if err != nil {
 		p.stats.Failures++
 		p.Metrics.failure()
-		p.nextRetry = time.Now().Add(p.failureBackoff())
+		p.nextRetry = p.now().Add(p.failureBackoff())
 		if p.Logger != nil {
 			p.Logger.Warn("portal refresh failed, serving last-known-good",
 				slog.String("error", err.Error()))
@@ -219,7 +232,7 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 	p.stats.Refreshes++
 	p.Metrics.refresh()
 	p.view = v
-	p.fetched = time.Now()
+	p.fetched = p.now()
 	p.nextRetry = time.Time{}
 	p.mu.Unlock()
 	return v

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,15 +17,63 @@ import (
 	"p4p/internal/topology"
 )
 
+// fakeClock is an injectable clock: tests advance it explicitly
+// instead of sleeping past TTL and backoff windows, so nothing here
+// depends on scheduler latency (the old wall-clock sleeps flaked under
+// -race on loaded machines).
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
 // scriptedFetcher returns canned views/errors in sequence, recording
-// call counts.
+// call counts. When started is non-nil it receives each call number as
+// the fetch begins, so tests can synchronize on "the refresh is now in
+// flight" instead of polling.
 type scriptedFetcher struct {
-	calls atomic.Int64
-	fn    func(n int64) (*core.View, error)
+	calls   atomic.Int64
+	started chan int64
+	fn      func(n int64) (*core.View, error)
 }
 
 func (f *scriptedFetcher) DistancesContext(ctx context.Context) (*core.View, error) {
-	return f.fn(f.calls.Add(1))
+	n := f.calls.Add(1)
+	if f.started != nil {
+		f.started <- n
+	}
+	return f.fn(n)
+}
+
+// awaitCall fails the test unless the fetcher reports call n starting
+// within two seconds (a watchdog bound, not a pacing sleep).
+func awaitCall(t *testing.T, started <-chan int64, n int64) {
+	t.Helper()
+	for {
+		select {
+		case got := <-started:
+			if got >= n {
+				return
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("fetch call %d never started", n)
+		}
+	}
 }
 
 func testView(version int) *core.View {
@@ -43,18 +92,20 @@ func TestPortalViewsServesLastKnownGood(t *testing.T) {
 		}
 		return nil, errors.New("injected: portal down")
 	}}
-	p := NewPortalViews(f, time.Nanosecond) // every call is past the TTL
-	p.FailureBackoff = time.Nanosecond      // retry the portal every call
+	clk := newFakeClock()
+	p := NewPortalViews(f, time.Millisecond)
+	p.FailureBackoff = time.Millisecond
+	p.nowFn = clk.Now
 
 	if got := p.ViewFor(1); got != DistanceView(want) {
 		t.Fatalf("first fetch = %v", got)
 	}
-	time.Sleep(time.Millisecond) // expire TTL and backoff
+	clk.Advance(2 * time.Millisecond) // expire TTL and backoff
 	for i := 0; i < 3; i++ {
 		if got := p.ViewFor(1); got != DistanceView(want) {
 			t.Fatalf("call %d: stale view not served, got %v", i, got)
 		}
-		time.Sleep(time.Millisecond)
+		clk.Advance(2 * time.Millisecond)
 	}
 	s := p.Stats()
 	if s.Refreshes != 1 || s.Failures < 1 || s.StaleServes < 1 {
@@ -116,14 +167,16 @@ func TestViewMetricsMirrorStats(t *testing.T) {
 		}
 		return nil, errors.New("injected: portal down")
 	}}
-	p := NewPortalViews(f, time.Nanosecond)
-	p.FailureBackoff = time.Nanosecond
+	clk := newFakeClock()
+	p := NewPortalViews(f, time.Millisecond)
+	p.FailureBackoff = time.Millisecond
+	p.nowFn = clk.Now
 	p.Metrics = NewViewMetrics(reg)
 
 	p.ViewFor(1) // refresh
-	time.Sleep(time.Millisecond)
+	clk.Advance(2 * time.Millisecond)
 	p.ViewFor(1) // failure + stale serve
-	time.Sleep(time.Millisecond)
+	clk.Advance(2 * time.Millisecond)
 	p.ViewFor(1) // failure + stale serve
 
 	s := p.Stats()
@@ -163,31 +216,24 @@ func TestViewMetricsMirrorStats(t *testing.T) {
 func TestCoalescedReadsCounted(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	block := make(chan struct{})
-	f := &scriptedFetcher{fn: func(n int64) (*core.View, error) {
+	started := make(chan int64, 8)
+	f := &scriptedFetcher{started: started, fn: func(n int64) (*core.View, error) {
 		if n == 1 {
 			return testView(1), nil
 		}
 		<-block
 		return testView(2), nil
 	}}
-	p := NewPortalViews(f, time.Nanosecond)
+	clk := newFakeClock()
+	p := NewPortalViews(f, time.Millisecond)
+	p.nowFn = clk.Now
 	p.Metrics = NewViewMetrics(reg)
 	p.ViewFor(1) // prime
-	time.Sleep(time.Millisecond)
+	awaitCall(t, started, 1)
+	clk.Advance(2 * time.Millisecond)
 
-	started := make(chan struct{})
-	go func() {
-		close(started)
-		p.ViewFor(1) // blocks in the refresh
-	}()
-	<-started
-	deadline := time.Now().Add(2 * time.Second)
-	for f.calls.Load() < 2 {
-		if time.Now().After(deadline) {
-			t.Fatal("refresh never started")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	go p.ViewFor(1) // blocks in the refresh
+	awaitCall(t, started, 2)
 	p.ViewFor(1) // must coalesce onto the stale view
 	close(block)
 
@@ -201,32 +247,25 @@ func TestCoalescedReadsCounted(t *testing.T) {
 
 func TestPortalViewsConcurrentRefreshSingleflight(t *testing.T) {
 	block := make(chan struct{})
-	f := &scriptedFetcher{fn: func(n int64) (*core.View, error) {
+	started := make(chan int64, 8)
+	f := &scriptedFetcher{started: started, fn: func(n int64) (*core.View, error) {
 		if n == 1 {
 			return testView(1), nil
 		}
 		<-block
 		return testView(2), nil
 	}}
-	p := NewPortalViews(f, time.Nanosecond)
+	clk := newFakeClock()
+	p := NewPortalViews(f, time.Millisecond)
+	p.nowFn = clk.Now
 	p.ViewFor(1) // prime
-	time.Sleep(time.Millisecond)
+	awaitCall(t, started, 1)
+	clk.Advance(2 * time.Millisecond)
 
 	// One goroutine starts a (blocked) refresh; concurrent callers must
 	// be answered from the stale view immediately rather than piling up.
-	started := make(chan struct{})
-	go func() {
-		close(started)
-		p.ViewFor(1)
-	}()
-	<-started
-	deadline := time.Now().Add(2 * time.Second)
-	for f.calls.Load() < 2 {
-		if time.Now().After(deadline) {
-			t.Fatal("refresh never started")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	go p.ViewFor(1)
+	awaitCall(t, started, 2)
 	done := make(chan DistanceView)
 	go func() { done <- p.ViewFor(1) }()
 	select {
@@ -253,16 +292,19 @@ func TestSelectionSurvivesPortalOutage(t *testing.T) {
 
 	client := portal.NewClient(srv.URL, "")
 	client.Retry = portal.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, PerAttempt: time.Second}
-	views := NewPortalViews(client, time.Nanosecond)
-	views.FailureBackoff = time.Nanosecond
+	clk := newFakeClock()
+	views := NewPortalViews(client, time.Millisecond)
+	views.FailureBackoff = time.Millisecond
+	views.nowFn = clk.Now
 
 	if v := views.ViewFor(1); v == nil {
 		t.Fatal("initial fetch failed")
 	}
 
-	// Portal goes fully down.
+	// Portal goes fully down; advance the clock past the TTL so the
+	// next selection must attempt (and fail) a refresh.
 	srv.Close()
-	time.Sleep(time.Millisecond)
+	clk.Advance(2 * time.Millisecond)
 
 	sel := &P4P{Views: views}
 	rng := rand.New(rand.NewSource(42))

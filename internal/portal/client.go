@@ -338,6 +338,7 @@ func (c *Client) PolicyContext(ctx context.Context) (itracker.Policy, error) {
 
 // Policy fetches the network usage policy.
 func (c *Client) Policy() (itracker.Policy, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
 	return c.PolicyContext(context.Background())
 }
 
@@ -348,6 +349,7 @@ func (c *Client) DistancesContext(ctx context.Context) (*core.View, error) {
 
 // Distances fetches the raw p-distance view.
 func (c *Client) Distances() (*core.View, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
 	return c.DistancesContext(context.Background())
 }
 
@@ -358,6 +360,7 @@ func (c *Client) RankedDistancesContext(ctx context.Context) (*core.View, error)
 
 // RankedDistances fetches the coarsened rank view.
 func (c *Client) RankedDistances() (*core.View, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
 	return c.RankedDistancesContext(context.Background())
 }
 
@@ -374,6 +377,7 @@ func (c *Client) CapabilitiesContext(ctx context.Context, kind string) ([]itrack
 
 // Capabilities fetches provider capabilities, optionally filtered.
 func (c *Client) Capabilities(kind string) ([]itracker.Capability, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
 	return c.CapabilitiesContext(context.Background(), kind)
 }
 
@@ -392,5 +396,6 @@ func (c *Client) LookupPIDContext(ctx context.Context, ip net.IP) (PIDLookupWire
 
 // LookupPID resolves an IP to PID and ASN.
 func (c *Client) LookupPID(ip net.IP) (PIDLookupWire, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
 	return c.LookupPIDContext(context.Background(), ip)
 }

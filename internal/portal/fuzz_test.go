@@ -1,0 +1,70 @@
+package portal
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"p4p/internal/core"
+)
+
+// FuzzFromWire feeds arbitrary JSON through the wire decoder and
+// checks the decode invariants the selector depends on: an accepted
+// view is square over its PID list, every distance is either finite in
+// [0, MaxDistance] or exactly +Inf (never NaN, never negative), and a
+// decoded view survives an encode/decode round trip unchanged.
+func FuzzFromWire(f *testing.F) {
+	f.Add([]byte(`{"pids":[0,1],"matrix":[[0,-1],[-1,0]],"version":3}`))
+	f.Add([]byte(`{"pids":[0,1,2],"matrix":[[0,1.5,-1],[1.5,0,2],[-1,2,0]],"version":7}`))
+	f.Add([]byte(`{"pids":[0],"matrix":[[0]],"version":1}`))
+	f.Add([]byte(`{"pids":[0,1],"matrix":[[0,1e300],[2,0]]}`))
+	f.Add([]byte(`{"pids":[0,1],"matrix":[[0,-0.9999999],[5e14,0]],"version":2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w ViewWire
+		if err := json.Unmarshal(data, &w); err != nil {
+			return
+		}
+		v, err := FromWire(&w)
+		if err != nil {
+			return
+		}
+		checkViewInvariants(t, v)
+		rt, err := FromWire(ToWire(v))
+		if err != nil {
+			t.Fatalf("round trip rejected a decoded view: %v", err)
+		}
+		checkViewInvariants(t, rt)
+		for i := range v.D {
+			for j := range v.D[i] {
+				a, b := v.D[i][j], rt.D[i][j]
+				if math.IsInf(a, 1) != math.IsInf(b, 1) || (!math.IsInf(a, 1) && a != b) {
+					t.Fatalf("round trip drifted at (%d,%d): %v -> %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}
+
+func checkViewInvariants(t *testing.T, v *core.View) {
+	t.Helper()
+	if len(v.D) != len(v.PIDs) {
+		t.Fatalf("accepted non-square view: %d rows for %d PIDs", len(v.D), len(v.PIDs))
+	}
+	for i, row := range v.D {
+		if len(row) != len(v.PIDs) {
+			t.Fatalf("accepted ragged row %d: %d columns for %d PIDs", i, len(row), len(v.PIDs))
+		}
+		for j, d := range row {
+			switch {
+			case math.IsNaN(d):
+				t.Fatalf("NaN leaked through decode at (%d,%d)", i, j)
+			case math.IsInf(d, 1):
+				// unreachable; fine
+			case d < 0:
+				t.Fatalf("negative finite distance %v at (%d,%d)", d, i, j)
+			case d > MaxDistance:
+				t.Fatalf("out-of-range distance %v at (%d,%d)", d, i, j)
+			}
+		}
+	}
+}

@@ -55,11 +55,30 @@ func TestFromWireValidation(t *testing.T) {
 	bad := []*ViewWire{
 		{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, 1}}},
 		{PIDs: []topology.PID{0}, Matrix: [][]float64{{0, 1}}},
-		{PIDs: []topology.PID{0}, Matrix: [][]float64{{-5}}},
+		{PIDs: []topology.PID{0}, Matrix: [][]float64{{math.NaN()}}},
+		{PIDs: []topology.PID{0}, Matrix: [][]float64{{math.Inf(1)}}},
+		{PIDs: []topology.PID{0}, Matrix: [][]float64{{math.Inf(-1)}}},
+		{PIDs: []topology.PID{0}, Matrix: [][]float64{{MaxDistance * 2}}},
 	}
 	for i, w := range bad {
 		if _, err := FromWire(w); err == nil {
 			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestFromWireTolerantSentinel checks that every negative distance —
+// not only the exact -1 the encoder emits — decodes as unreachable, so
+// a perturbed sentinel can never read as a very cheap path.
+func TestFromWireTolerantSentinel(t *testing.T) {
+	for _, d := range []float64{Unreachable, -1.0000001, -0.5, -5, -1e300} {
+		w := &ViewWire{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, d}, {1, 0}}}
+		v, err := FromWire(w)
+		if err != nil {
+			t.Fatalf("d=%v: %v", d, err)
+		}
+		if !math.IsInf(v.D[0][1], 1) {
+			t.Errorf("d=%v decoded as %v, want +Inf", d, v.D[0][1])
 		}
 	}
 }

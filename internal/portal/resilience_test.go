@@ -390,7 +390,7 @@ func TestAccessDeniedStatus(t *testing.T) {
 	}
 }
 
-func TestFromWireRejectsRaggedAndNegative(t *testing.T) {
+func TestFromWireRejectsRaggedAndNonFinite(t *testing.T) {
 	good := &ViewWire{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, 2}, {2, 0}}, Version: 3}
 	v, err := FromWire(good)
 	if err != nil {
@@ -409,11 +409,16 @@ func TestFromWireRejectsRaggedAndNegative(t *testing.T) {
 	bad := []*ViewWire{
 		{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, 1}, {1}}},
 		{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, 1}, {1, 0}, {0, 0}}},
-		{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, -0.5}, {1, 0}}},
+		{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, math.NaN()}, {1, 0}}},
 	}
 	for i, w := range bad {
 		if _, err := FromWire(w); err == nil {
 			t.Errorf("case %d: malformed wire view accepted", i)
 		}
+	}
+	// Negatives are not malformed: they decode as unreachable.
+	neg, err := FromWire(&ViewWire{PIDs: []topology.PID{0, 1}, Matrix: [][]float64{{0, -0.5}, {1, 0}}})
+	if err != nil || !math.IsInf(neg.D[0][1], 1) {
+		t.Fatalf("negative distance not tolerated as unreachable: %v %v", neg, err)
 	}
 }

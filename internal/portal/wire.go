@@ -17,8 +17,19 @@ import (
 )
 
 // Unreachable is the wire sentinel for an infinite p-distance: JSON has
-// no encoding for +Inf, so unreachable PID pairs are sent as -1.
+// no encoding for +Inf, so unreachable PID pairs are sent as -1. The
+// decoder is deliberately more tolerant than the encoder: any negative
+// distance decodes as unreachable, so a peer that perturbs the sentinel
+// (lossy re-encoding, a hostile portal shaving ulps off -1) cannot
+// smuggle a "negative cost" path into selection.
 const Unreachable = -1
+
+// MaxDistance bounds a plausible finite wire distance. The paper's
+// p-distances are link costs and MLU-scaled prices, single-digit to a
+// few thousand; anything beyond this is a corrupt or hostile payload,
+// not a far-away network, and is rejected rather than fed into the
+// weight transform where it would collapse every other weight to zero.
+const MaxDistance = 1e15
 
 // ViewWire is the JSON form of a distance view.
 type ViewWire struct {
@@ -27,14 +38,17 @@ type ViewWire struct {
 	Version int            `json:"version"`
 }
 
-// ToWire converts a core.View for transmission.
+// ToWire converts a core.View for transmission. Infinities in either
+// direction become the Unreachable sentinel (JSON cannot carry them);
+// a NaN is left in place so the buffered response writer's encode step
+// fails closed with a 500 instead of shipping a poisoned matrix.
 func ToWire(v *core.View) *ViewWire {
 	w := &ViewWire{PIDs: append([]topology.PID(nil), v.PIDs...), Version: v.Version}
 	w.Matrix = make([][]float64, len(v.D))
 	for i, row := range v.D {
 		w.Matrix[i] = make([]float64, len(row))
 		for j, d := range row {
-			if math.IsInf(d, 1) {
+			if math.IsInf(d, 0) {
 				w.Matrix[i][j] = Unreachable
 			} else {
 				w.Matrix[i][j] = d
@@ -45,7 +59,10 @@ func ToWire(v *core.View) *ViewWire {
 }
 
 // FromWire converts a received view back to a core.View, restoring
-// infinities and validating shape.
+// infinities and validating shape and range against hostile payloads:
+// the matrix must be square over the PID list, every entry must be a
+// finite number no larger than MaxDistance, and any negative entry —
+// not just exactly -1 — decodes as unreachable (see Unreachable).
 func FromWire(w *ViewWire) (*core.View, error) {
 	if len(w.Matrix) != len(w.PIDs) {
 		return nil, fmt.Errorf("portal: matrix has %d rows for %d PIDs", len(w.Matrix), len(w.PIDs))
@@ -58,11 +75,16 @@ func FromWire(w *ViewWire) (*core.View, error) {
 		}
 		v.D[i] = make([]float64, len(row))
 		for j, d := range row {
-			if d == Unreachable {
+			switch {
+			case math.IsNaN(d) || math.IsInf(d, 0):
+				// Unreachable JSON decode of a numeric literal, but
+				// reachable when a ViewWire is built in-process.
+				return nil, fmt.Errorf("portal: non-finite distance at (%d,%d)", i, j)
+			case d < 0:
 				v.D[i][j] = math.Inf(1)
-			} else if d < 0 {
-				return nil, fmt.Errorf("portal: negative distance at (%d,%d)", i, j)
-			} else {
+			case d > MaxDistance:
+				return nil, fmt.Errorf("portal: distance %g at (%d,%d) exceeds MaxDistance", d, i, j)
+			default:
 				v.D[i][j] = d
 			}
 		}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// FuzzExpositionParse drives the registry with fuzzed metric metadata
+// and values, renders the Prometheus exposition, and re-parses it with
+// an independent line parser: rendering must never panic or error, and
+// every line must be well-formed text format with label values that
+// unescape back to the original input.
+func FuzzExpositionParse(f *testing.F) {
+	f.Add("p4p_requests_total", "Requests served.", "route", "distances", 1.5)
+	f.Add("p4p_latency_seconds", "Latency.", "route", `quoted "value" with \ and
+newline`, 0.003)
+	f.Add("up", "", "job", "", -7.25)
+	f.Fuzz(func(t *testing.T, name, help, label, value string, v float64) {
+		if !nameRe.MatchString(name) || !labelRe.MatchString(label) {
+			return // the registry is only fed compile-time names
+		}
+		if !utf8.ValidString(value) {
+			return // Prometheus label values are UTF-8 by contract
+		}
+		reg := NewRegistry()
+		reg.CounterVec(name+"_total", help, label).With(value).Add(v)
+		reg.Gauge(name+"_gauge", help).Set(v)
+		reg.Histogram(name+"_hist", help, nil).Observe(v)
+
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		sawLabel := false
+		for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+			labels, err := parseExpositionLine(line)
+			if err != nil {
+				t.Fatalf("malformed exposition line %q: %v", line, err)
+			}
+			if got, ok := labels[label]; ok && got == value {
+				sawLabel = true
+			}
+		}
+		if !sawLabel {
+			t.Fatalf("label value %q did not round-trip through the exposition:\n%s", value, buf.String())
+		}
+	})
+}
+
+// parseExpositionLine validates one text-format line and returns the
+// sample's unescaped labels (nil for comment lines).
+func parseExpositionLine(line string) (map[string]string, error) {
+	if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+		return nil, nil
+	}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return nil, fmt.Errorf("no metric name")
+	}
+	if !nameRe.MatchString(line[:i]) {
+		return nil, fmt.Errorf("bad metric name %q", line[:i])
+	}
+	rest := line[i:]
+	labels := map[string]string{}
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq <= 0 || !labelRe.MatchString(rest[:eq]) {
+				return nil, fmt.Errorf("bad label name")
+			}
+			lname := rest[:eq]
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return nil, fmt.Errorf("label value not quoted")
+			}
+			val, n, err := unquoteLabel(rest)
+			if err != nil {
+				return nil, err
+			}
+			labels[lname] = val
+			rest = rest[n:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return nil, fmt.Errorf("label list not terminated")
+		}
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return nil, fmt.Errorf("no sample value")
+	}
+	if _, err := strconv.ParseFloat(strings.TrimSpace(rest[1:]), 64); err != nil {
+		return nil, fmt.Errorf("bad sample value %q: %v", rest[1:], err)
+	}
+	return labels, nil
+}
+
+// unquoteLabel consumes a quoted, escaped label value from the front
+// of s, returning the unescaped value and bytes consumed.
+func unquoteLabel(s string) (string, int, error) {
+	if s[0] != '"' {
+		return "", 0, fmt.Errorf("not quoted")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}

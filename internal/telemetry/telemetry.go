@@ -282,6 +282,14 @@ func formatValue(v float64) string {
 	}
 }
 
+// escapeHelp escapes a HELP text per the text-format rules; an
+// unescaped newline or backslash would break the line-oriented format.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	h = strings.ReplaceAll(h, "\n", `\n`)
+	return h
+}
+
 // escapeLabel escapes a label value per the text-format rules.
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
@@ -329,7 +337,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	var b strings.Builder
 	for _, f := range fams {
-		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
 
 		f.mu.Lock()

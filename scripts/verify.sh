@@ -17,4 +17,6 @@ echo '>> go build ./...'
 go build ./...
 echo '>> go test -race ./...'
 go test -race ./...
+echo '>> p4pvet ./...'
+go run ./cmd/p4pvet ./...
 echo 'verify: OK'
