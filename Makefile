@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet p4pvet verify fuzz-smoke bench bench-json
+.PHONY: build test race vet p4pvet verify fuzz-smoke bench bench-json bench-sim-json
 
 build:
 	$(GO) build ./...
@@ -36,4 +36,10 @@ bench:
 # Portal request + view-recompute benchmarks, emitted as JSON at
 # BENCH_portal.json for cross-commit comparison.
 bench-json:
-	sh scripts/bench_json.sh
+	sh scripts/bench_json.sh portal
+
+# p2psim hot-path benchmarks plus the Figure 7 sweep (parallel and
+# serial), emitted as JSON at BENCH_sim.json. Diff across commits with
+# scripts/bench_diff.sh.
+bench-sim-json:
+	sh scripts/bench_json.sh sim

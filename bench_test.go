@@ -8,7 +8,11 @@
 // prints the same quantities the paper's tables and figures do.
 //
 // Workload scale is controlled with -p4p.scale (default 0.25 keeps the
-// full suite in CPU-minutes; 1.0 reproduces the paper's sizes).
+// full suite in CPU-minutes; 1.0 reproduces the paper's sizes), and
+// -p4p.parallel bounds the worker pool fanning each experiment's
+// independent simulation cells (0 = GOMAXPROCS, 1 = serial). Reports
+// are byte-identical at any parallelism, so the setting only moves
+// wall-clock time.
 package p4p_test
 
 import (
@@ -19,10 +23,13 @@ import (
 	"p4p/internal/experiments"
 )
 
-var benchScale = flag.Float64("p4p.scale", 0.25, "experiment workload scale in (0, 1]")
+var (
+	benchScale    = flag.Float64("p4p.scale", 0.25, "experiment workload scale in (0, 1]")
+	benchParallel = flag.Int("p4p.parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
+)
 
 func benchOptions() experiments.Options {
-	return experiments.Options{Scale: *benchScale, Seed: 42}
+	return experiments.Options{Scale: *benchScale, Seed: 42, Parallelism: *benchParallel}
 }
 
 // reportValues attaches an experiment's headline numbers to the
@@ -67,6 +74,20 @@ func BenchmarkFigure6BitTorrentInternet(b *testing.B) {
 // utilization than P4P.
 func BenchmarkFigure7SwarmSize(b *testing.B) {
 	runExperiment(b, experiments.Figure7SwarmSize)
+}
+
+// BenchmarkFigure7SwarmSizeSerial runs the same sweep with the worker
+// pool disabled (Parallelism: 1), regardless of -p4p.parallel. The
+// wall-clock delta between this and BenchmarkFigure7SwarmSize is the
+// parallel harness's speedup; the reported values are identical.
+func BenchmarkFigure7SwarmSizeSerial(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		opt := benchOptions()
+		opt.Parallelism = 1
+		rep = experiments.Figure7SwarmSize(opt)
+	}
+	reportValues(b, rep)
 }
 
 // BenchmarkFigure8ISPA regenerates Figure 8: the sweep on ISP-A,

@@ -4,7 +4,11 @@
 //
 //	p4pexp -list
 //	p4pexp -run F6,F10 -scale 0.5
-//	p4pexp -run all -scale 1.0
+//	p4pexp -run all -scale 1.0 -parallel 8
+//
+// -parallel bounds the worker pool that fans each experiment's
+// independent simulation cells (0 = GOMAXPROCS, 1 = serial); output is
+// byte-identical at any setting.
 package main
 
 import (
@@ -47,10 +51,11 @@ var all = []experiment{
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
-		seed  = flag.Int64("seed", 42, "random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
+		seed     = flag.Int64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -66,7 +71,7 @@ func main() {
 	for _, id := range strings.Split(*run, ",") {
 		want[strings.TrimSpace(strings.ToUpper(id))] = true
 	}
-	opt := experiments.Options{Scale: *scale, Seed: *seed}
+	opt := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
 	ran := 0
 	for _, e := range all {
 		if !runAll && !want[strings.ToUpper(e.id)] {

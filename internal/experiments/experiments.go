@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +32,15 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism bounds the worker pool that fans an experiment's
+	// independent simulation cells (one (policy, size) pair of a sweep,
+	// one policy of a comparison) across goroutines. 0 means
+	// GOMAXPROCS; 1 runs strictly serially. Every cell derives its own
+	// seed and owns its RNG, selector, engine, and iTracker, and
+	// reports are assembled in deterministic cell order afterward, so
+	// the output is byte-identical at any parallelism (see
+	// TestParallelReportsMatchSerial).
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +59,63 @@ func (o Options) scaled(n int) int {
 		v = 1
 	}
 	return v
+}
+
+// forEachCell runs fn(i) for every cell index in [0, n) on a bounded
+// worker pool of o.Parallelism goroutines (GOMAXPROCS when 0). Cells
+// must be independent: each writes only its own slot of a result slice
+// indexed by i, and the caller assembles tables and series serially in
+// cell order afterward, which keeps reports byte-identical to a serial
+// run. A panic in any cell is re-raised on the caller's goroutine.
+func (o Options) forEachCell(n int, fn func(i int)) {
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		idx = make(chan int)
+		wg  sync.WaitGroup
+
+		panicMu  sync.Mutex
+		panicVal interface{}
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // Report is one experiment's output.

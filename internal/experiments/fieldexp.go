@@ -36,10 +36,17 @@ func runFieldPair(opt Options) *fieldPairResult {
 	}
 	g := topology.ISPB()
 	r := topology.ComputeRouting(g)
-	res := &fieldPairResult{
-		native: fieldtest.Run(fieldtest.Config{Graph: g, Routing: r, Policy: fieldtest.Native, Seed: opt.Seed}),
-		p4p:    fieldtest.Run(fieldtest.Config{Graph: g, Routing: r, Policy: fieldtest.P4P, Seed: opt.Seed + 1}),
+	// The two parallel deployments are independent cells with disjoint
+	// seeds; fan them across the worker pool.
+	cfgs := []fieldtest.Config{
+		{Graph: g, Routing: r, Policy: fieldtest.Native, Seed: opt.Seed},
+		{Graph: g, Routing: r, Policy: fieldtest.P4P, Seed: opt.Seed + 1},
 	}
+	results := make([]*fieldtest.Result, len(cfgs))
+	opt.forEachCell(len(cfgs), func(i int) {
+		results[i] = fieldtest.Run(cfgs[i])
+	})
+	res := &fieldPairResult{native: results[0], p4p: results[1]}
 	fieldCache.Store(key, res)
 	return res
 }

@@ -63,45 +63,16 @@ func Figure10Interdomain(opt Options) *Report {
 	}
 
 	tbl := &metrics.Table{Header: []string{"policy", "mean completion s", "p99 completion s", "charge circuit1 MB", "charge circuit2 MB"}}
-	for _, policy := range []string{policyNative, policyLocalized, policyP4P} {
-		cfg := p2psim.Config{
-			Graph:            g,
-			Routing:          r,
-			Seed:             opt.Seed,
-			FileBytes:        12 << 20,
-			WatchLedgers:     &p2psim.LedgerConfig{Links: watch, IntervalSec: 10},
-			TCPWindowBytes:   32 << 10,
-			ReselectInterval: 20,
-		}
-		switch policy {
-		case policyNative:
-			cfg.Selector = apptracker.Random{}
-		case policyLocalized:
-			cfg.Selector = delaySelector(r, opt.Seed+3)
-		case policyP4P:
-			engine := core.NewEngine(g, r, core.Config{Objective: core.MinimizeMLU, StepSize: 0.3})
-			for e, ve := range veBps {
-				engine.SetVirtualCapacity(e, ve)
-				// Warm start: the provider prices its billing-sensitive
-				// circuits from historical data before any swarm traffic
-				// arrives; the super-gradient relaxes the price while
-				// observed traffic stays under v_e.
-				engine.SetPrice(e, 1.0)
-			}
-			// Both virtual ISPs run iTrackers; a single engine over the
-			// shared physical graph plays both, serving each AS the same
-			// external view.
-			tr1 := itracker.New(itracker.Config{Name: "virtual-isp-west", ASN: 1}, engine, nil)
-			cfg.Selector = &apptracker.P4P{Views: newLiveViews(tr1)}
-			cfg.MeasureInterval = 5
-			cfg.OnMeasure = func(now float64, rates []float64) { tr1.ObserveAndUpdate(rates) }
-		}
-		sim := p2psim.New(cfg)
-		pids := g.AggregationPIDs()
-		// Clients carry their node's ASN so the staged selection's
-		// inter-AS stage engages.
-		addInterdomainClients(sim, g, pids, n, opt.Seed+7)
-		res := sim.Run()
+	// The three policies are independent cells (the p4p cell builds its
+	// own engine and iTracker; veBps is only read); they fan across the
+	// worker pool and the report is assembled in policy order.
+	policies := []string{policyNative, policyLocalized, policyP4P}
+	results := make([]*p2psim.Result, len(policies))
+	opt.forEachCell(len(policies), func(i int) {
+		results[i] = runInterdomainPolicy(policies[i], g, r, n, watch, veBps, opt)
+	})
+	for i, policy := range policies {
+		res := results[i]
 		ct := metrics.NewCDF(res.CompletionTimes())
 		rep.Series["completion-cdf/"+policy] = ct.Points(20)
 		var charges []float64
@@ -136,6 +107,52 @@ func Figure10Interdomain(opt Options) *Report {
 	rep.Values["charge-ratio-circuit2/localized-vs-p4p"] = metrics.Ratio(
 		rep.Values["charging-mb/localized/circuit2"], rep.Values["charging-mb/p4p/circuit2"])
 	return rep
+}
+
+// runInterdomainPolicy runs one Figure 10 swarm under one policy: a
+// self-contained cell owning its selector, engine, and iTracker. veBps
+// is shared read-only across cells.
+func runInterdomainPolicy(policy string, g *topology.Graph, r *topology.Routing, n int, watch []topology.LinkID, veBps map[topology.LinkID]float64, opt Options) *p2psim.Result {
+	cfg := p2psim.Config{
+		Graph:            g,
+		Routing:          r,
+		Seed:             opt.Seed,
+		FileBytes:        12 << 20,
+		WatchLedgers:     &p2psim.LedgerConfig{Links: watch, IntervalSec: 10},
+		TCPWindowBytes:   32 << 10,
+		ReselectInterval: 20,
+	}
+	switch policy {
+	case policyNative:
+		cfg.Selector = apptracker.Random{}
+	case policyLocalized:
+		cfg.Selector = delaySelector(r, opt.Seed+3)
+	case policyP4P:
+		engine := core.NewEngine(g, r, core.Config{Objective: core.MinimizeMLU, StepSize: 0.3})
+		for e, ve := range veBps {
+			engine.SetVirtualCapacity(e, ve)
+			// Warm start: the provider prices its billing-sensitive
+			// circuits from historical data before any swarm traffic
+			// arrives; the super-gradient relaxes the price while
+			// observed traffic stays under v_e.
+			engine.SetPrice(e, 1.0)
+		}
+		// Both virtual ISPs run iTrackers; a single engine over the
+		// shared physical graph plays both, serving each AS the same
+		// external view.
+		tr1 := itracker.New(itracker.Config{Name: "virtual-isp-west", ASN: 1}, engine, nil)
+		cfg.Selector = &apptracker.P4P{Views: newLiveViews(tr1)}
+		cfg.MeasureInterval = 5
+		cfg.OnMeasure = func(now float64, rates []float64) { tr1.ObserveAndUpdate(rates) }
+	default:
+		panic("experiments: unknown policy " + policy)
+	}
+	sim := p2psim.New(cfg)
+	pids := g.AggregationPIDs()
+	// Clients carry their node's ASN so the staged selection's
+	// inter-AS stage engages.
+	addInterdomainClients(sim, g, pids, n, opt.Seed+7)
+	return sim.Run()
 }
 
 func metricName(prefix string, idx int) string {

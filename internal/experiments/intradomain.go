@@ -118,8 +118,16 @@ func Figure6BitTorrentInternet(opt Options) *Report {
 	rep.note("swarm %d clients, 12 MB file, 100 KBps seed, protected circuit WashingtonDC<->NewYork", n)
 
 	tbl := &metrics.Table{Header: []string{"policy", "mean completion s", "p95 completion s", "bottleneck MB"}}
-	for _, policy := range []string{policyP4P, policyLocalized, policyNative} {
-		run := runIntradomainSwarm(policy, g, r, n, 12<<20, 100e3*8, opt.Seed, protect, 0.5)
+	// The three policies are independent cells: each owns its selector,
+	// iTracker, and RNGs, so they fan across the worker pool and the
+	// report is assembled in the fixed policy order below.
+	policies := []string{policyP4P, policyLocalized, policyNative}
+	runs := make([]*intradomainRun, len(policies))
+	opt.forEachCell(len(policies), func(i int) {
+		runs[i] = runIntradomainSwarm(policies[i], g, r, n, 12<<20, 100e3*8, opt.Seed, protect, 0.5)
+	})
+	for i, policy := range policies {
+		run := runs[i]
 		ct := run.result.CompletionTimes()
 		cdf := metrics.NewCDF(ct)
 		rep.Series["completion-cdf/"+policy] = cdf.Points(20)
@@ -167,13 +175,24 @@ func swarmSizeSweep(opt Options, id string, g *topology.Graph, normalize bool) *
 		policy string
 		size   int
 	}
+	// Every (size, policy) pair is an independent simulation cell with
+	// its own seed (opt.Seed+size), so the whole sweep fans across the
+	// worker pool; results land in a slice indexed by cell and the
+	// table and series are assembled afterward in the original
+	// deterministic (size, policy) order.
+	policies := []string{policyNative, policyLocalized, policyP4P}
+	runs := make([]*intradomainRun, len(sizes)*len(policies))
+	opt.forEachCell(len(runs), func(i int) {
+		size, policy := sizes[i/len(policies)], policies[i%len(policies)]
+		runs[i] = runIntradomainSwarm(policy, g, r, opt.scaled(size), 256<<20, 1e9, opt.Seed+int64(size), nil, 1.0)
+	})
 	means := map[key]float64{}
 	var peakUtil = map[string]float64{}
-	for _, size := range sizes {
+	for si, size := range sizes {
 		n := opt.scaled(size)
 		row := []interface{}{n}
-		for _, policy := range []string{policyNative, policyLocalized, policyP4P} {
-			run := runIntradomainSwarm(policy, g, r, n, 256<<20, 1e9, opt.Seed+int64(size), nil, 1.0)
+		for pi, policy := range policies {
+			run := runs[si*len(policies)+pi]
 			mean := meanOrNaN(run.result.CompletionTimes())
 			means[key{policy, size}] = mean
 			row = append(row, mean)
@@ -237,38 +256,15 @@ func Figure9Liveswarms(opt Options) *Report {
 	}
 	rep.note("%d clients, 90-min 400 kbps stream, %.0f s runs", n, duration)
 	tbl := &metrics.Table{Header: []string{"policy", "avg backbone MB", "mean goodput kbps"}}
-	for _, policy := range []string{policyNative, policyP4P} {
-		cfg := p2psim.Config{
-			Graph:            g,
-			Routing:          r,
-			Seed:             opt.Seed,
-			PieceBytes:       64 << 10,
-			MaxTime:          duration,
-			ReselectInterval: 20,
-			// A small neighbor set keeps selection meaningful at the
-			// paper's 53-client swarm size.
-			NeighborTarget: 6,
-			Streaming:      &p2psim.StreamingConfig{RateBps: 400e3, ContentSec: 90 * 60, WindowSec: 60},
-		}
-		switch policy {
-		case policyNative:
-			cfg.Selector = apptracker.Random{}
-		case policyP4P:
-			// The streaming integration runs against a
-			// bandwidth-distance-product iTracker: its exposed distances
-			// p_ij + d_ij carry locality even before congestion prices
-			// build up, which is what cuts backbone volume for a
-			// short-lived streaming session.
-			engine := core.NewEngine(g, r, core.Config{Objective: core.MinimizeBDP, StepSize: 0.2})
-			tr := itracker.New(itracker.Config{Name: g.Name, ASN: g.Node(0).ASN}, engine, nil)
-			cfg.Selector = &apptracker.P4P{Views: newLiveViews(tr), Config: apptracker.P4PConfig{Gamma: 1.0}}
-			cfg.MeasureInterval = 10
-			cfg.OnMeasure = func(now float64, rates []float64) { tr.ObserveAndUpdate(rates) }
-		}
-		sim := p2psim.New(cfg)
-		pids := g.AggregationPIDs()
-		spreadClients(sim, pids, g.Node(0).ASN, n, 10e6, 10e6, 20e6, 60, rand.New(rand.NewSource(opt.Seed+2)))
-		res := sim.Run()
+	// Each policy is one independent streaming cell; both fan across
+	// the worker pool and the table is assembled in policy order.
+	policies := []string{policyNative, policyP4P}
+	results := make([]*p2psim.Result, len(policies))
+	opt.forEachCell(len(policies), func(i int) {
+		results[i] = runLiveswarmsPolicy(policies[i], g, r, n, duration, opt)
+	})
+	for i, policy := range policies {
+		res := results[i]
 		// Average per-backbone-link traffic volume, the paper's metric.
 		var totalLinkBytes float64
 		for _, v := range res.LinkBytes {
@@ -286,6 +282,44 @@ func Figure9Liveswarms(opt Options) *Report {
 	return rep
 }
 
+// runLiveswarmsPolicy runs one Figure 9 streaming swarm under one
+// policy: one self-contained cell (own engine, iTracker, and RNGs).
+func runLiveswarmsPolicy(policy string, g *topology.Graph, r *topology.Routing, n int, duration float64, opt Options) *p2psim.Result {
+	cfg := p2psim.Config{
+		Graph:            g,
+		Routing:          r,
+		Seed:             opt.Seed,
+		PieceBytes:       64 << 10,
+		MaxTime:          duration,
+		ReselectInterval: 20,
+		// A small neighbor set keeps selection meaningful at the
+		// paper's 53-client swarm size.
+		NeighborTarget: 6,
+		Streaming:      &p2psim.StreamingConfig{RateBps: 400e3, ContentSec: 90 * 60, WindowSec: 60},
+	}
+	switch policy {
+	case policyNative:
+		cfg.Selector = apptracker.Random{}
+	case policyP4P:
+		// The streaming integration runs against a
+		// bandwidth-distance-product iTracker: its exposed distances
+		// p_ij + d_ij carry locality even before congestion prices
+		// build up, which is what cuts backbone volume for a
+		// short-lived streaming session.
+		engine := core.NewEngine(g, r, core.Config{Objective: core.MinimizeBDP, StepSize: 0.2})
+		tr := itracker.New(itracker.Config{Name: g.Name, ASN: g.Node(0).ASN}, engine, nil)
+		cfg.Selector = &apptracker.P4P{Views: newLiveViews(tr), Config: apptracker.P4PConfig{Gamma: 1.0}}
+		cfg.MeasureInterval = 10
+		cfg.OnMeasure = func(now float64, rates []float64) { tr.ObserveAndUpdate(rates) }
+	default:
+		panic("experiments: unknown policy " + policy)
+	}
+	sim := p2psim.New(cfg)
+	pids := g.AggregationPIDs()
+	spreadClients(sim, pids, g.Node(0).ASN, n, 10e6, 10e6, 20e6, 60, rand.New(rand.NewSource(opt.Seed+2)))
+	return sim.Run()
+}
+
 // AblationConcave is design-choice ablation A2: the concave transform
 // on selection weights (the paper's lightweight robustness constraint,
 // eq. 7) versus raw inverse-distance weights, in the Figure 6 setting.
@@ -296,10 +330,16 @@ func AblationConcave(opt Options) *Report {
 	r := topology.ComputeRouting(g)
 	n := opt.scaled(160)
 	tbl := &metrics.Table{Header: []string{"gamma", "mean completion s", "bottleneck MB", "max-PID-share"}}
-	for _, gamma := range []float64{1.0, 0.5} {
-		// MLU-engine mode: prices spread across links, so the distance
-		// matrix has the contrast the transform acts on.
-		run := runIntradomainSwarm(policyP4P, g, r, n, 12<<20, 1e9, opt.Seed, nil, gamma)
+	// MLU-engine mode: prices spread across links, so the distance
+	// matrix has the contrast the transform acts on. The two gamma
+	// settings are independent cells.
+	gammas := []float64{1.0, 0.5}
+	runs := make([]*intradomainRun, len(gammas))
+	opt.forEachCell(len(gammas), func(i int) {
+		runs[i] = runIntradomainSwarm(policyP4P, g, r, n, 12<<20, 1e9, opt.Seed, nil, gammas[i])
+	})
+	for i, gamma := range gammas {
+		run := runs[i]
 		ct := run.result.CompletionTimes()
 		// Spread measure: the largest share of traffic received from a
 		// single source PID (lower = more diverse = more robust).

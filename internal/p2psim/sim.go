@@ -17,11 +17,11 @@
 package p2psim
 
 import (
-	"container/heap"
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"p4p/internal/apptracker"
 	"p4p/internal/topology"
@@ -62,7 +62,9 @@ type Config struct {
 
 	// MeasureInterval, if positive, invokes OnMeasure with the current
 	// per-link P4P traffic rates (bits/sec) every interval — the hook
-	// that feeds an iTracker's ObserveTraffic/Update loop.
+	// that feeds an iTracker's ObserveTraffic/Update loop. The rate
+	// slice is reused between invocations: callbacks must copy it if
+	// they retain it past the call.
 	MeasureInterval float64
 	OnMeasure       func(now float64, linkRateBps []float64)
 
@@ -164,6 +166,12 @@ type Client struct {
 	rechokeNum int
 	optimistic *Client
 
+	// unchokeMark and wantMark are epoch stamps (against Sim.unchokeEpoch
+	// and Sim.wantEpoch) that replace the per-call membership maps in
+	// rechokeClient and reselectClient.
+	unchokeMark int
+	wantMark    int
+
 	// DownBytesByClass accumulates bytes received per uploader class
 	// when Config.TrackClassBytes is set.
 	DownBytesByClass map[string]float64
@@ -193,6 +201,11 @@ type conn struct {
 	// recv[0]: bytes b sent to a in the current rechoke interval;
 	// recv[1]: bytes a sent to b.
 	recv [2]float64
+	// novel[i] counts the pieces the direction-i uploader has that its
+	// downloader still lacks (novel[0]: a has, b lacks; novel[1]: b has,
+	// a lacks). Maintained incrementally at connect time and whenever a
+	// piece lands, so interest checks are O(1) instead of O(pieces).
+	novel [2]int
 }
 
 func (cn *conn) peer(c *Client) *Client {
@@ -222,6 +235,7 @@ type flow struct {
 	moved     float64           // bytes transferred so far (flushed at teardown)
 	ledgered  []topology.LinkID // links on the path with volume ledgers
 	seq       int
+	epoch     int // dedup stamp against Sim.flowEpoch (ratesChanged)
 	active    bool
 }
 
@@ -239,6 +253,20 @@ type Sim struct {
 	linkRate  []float64 // bytes/sec per backbone link, P4P traffic only
 	bgBytesPS []float64 // background, bytes/sec
 
+	// Reusable scratch state keeping the event hot paths allocation-free
+	// (see DESIGN.md §9). Epoch counters pair with the stamps on flow
+	// and Client so membership checks need no per-call maps.
+	flowEpoch    int
+	flowScratch  []*flow
+	unchokeEpoch int
+	wantEpoch    int
+	candScratch  []rechokeCand
+	poolScratch  []*Client
+	candNodes    []apptracker.Node
+	candClients  []*Client
+	connScratch  []*conn
+	measureBuf   []float64
+
 	metrics Metrics
 }
 
@@ -250,6 +278,10 @@ func New(cfg Config) *Sim {
 	}
 	if cfg.Selector == nil {
 		panic("p2psim: Selector is required")
+	}
+	if cfg.BackgroundBps != nil && len(cfg.BackgroundBps) != cfg.Graph.NumLinks() {
+		panic(fmt.Sprintf("p2psim: BackgroundBps has %d entries, graph %q has %d links",
+			len(cfg.BackgroundBps), cfg.Graph.Name, cfg.Graph.NumLinks()))
 	}
 	s := &Sim{
 		cfg:      cfg,
@@ -340,8 +372,8 @@ func (s *Sim) Run() *Result {
 		s.cfg.Streaming.schedule(s)
 	}
 
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(event)
+	for s.events.len() > 0 {
+		ev := s.events.pop()
 		if ev.t > s.cfg.MaxTime {
 			s.now = s.cfg.MaxTime
 			break
@@ -403,40 +435,72 @@ type event struct {
 	seq    int
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].kind < h[j].kind
+// eventHeap is a typed binary min-heap over events. It replaces the
+// container/heap implementation, whose interface{}-boxed Push/Pop
+// allocated on every event; the sift algorithms mirror container/heap
+// exactly so the pop order (and hence every simulation trace) is
+// unchanged.
+type eventHeap struct {
+	ev []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.ev[i].t != h.ev[j].t {
+		return h.ev[i].t < h.ev[j].t
+	}
+	return h.ev[i].kind < h.ev[j].kind
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	// Sift up.
+	j := len(h.ev) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.less(j, i) {
+			break
+		}
+		h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
+		j = i
+	}
+}
+
+func (h *eventHeap) pop() event {
+	n := len(h.ev) - 1
+	h.ev[0], h.ev[n] = h.ev[n], h.ev[0]
+	// Sift down over the first n elements.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
+		i = j
+	}
+	e := h.ev[n]
+	h.ev[n] = event{} // drop references held by the vacated slot
+	h.ev = h.ev[:n]
 	return e
 }
 
-func (s *Sim) push(ev event) { heap.Push(&s.events, ev) }
+func (s *Sim) push(ev event) { s.events.push(ev) }
 
 // --- join and neighbor management ---
 
 func (s *Sim) handleJoin(c *Client) {
 	c.joined = true
 	// Tracker query: candidates are all currently joined clients.
-	var candidates []apptracker.Node
-	var candClients []*Client
-	for _, o := range s.clients {
-		if o.joined && o != c {
-			candidates = append(candidates, apptracker.Node{ID: o.ID, PID: o.Spec.PID, ASN: o.Spec.ASN})
-			candClients = append(candClients, o)
-		}
-	}
+	candidates, candClients := s.trackerCandidates(c)
 	self := apptracker.Node{ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN}
 	sel := s.cfg.Selector.Select(self, candidates, s.cfg.NeighborTarget, s.rng)
 	for _, idx := range sel {
@@ -445,6 +509,21 @@ func (s *Sim) handleJoin(c *Client) {
 	// Newly joined clients try to attract an unchoke at the very next
 	// rechoke; nothing to start yet (no pieces, not unchoked).
 	// A seed joining late can immediately serve: rechoke handles it.
+}
+
+// trackerCandidates assembles the tracker's candidate set for c into
+// buffers reused across queries. Selectors receive the node slice for
+// the duration of Select only and must not retain it.
+func (s *Sim) trackerCandidates(c *Client) ([]apptracker.Node, []*Client) {
+	nodes, clients := s.candNodes[:0], s.candClients[:0]
+	for _, o := range s.clients {
+		if o.joined && o != c {
+			nodes = append(nodes, apptracker.Node{ID: o.ID, PID: o.Spec.PID, ASN: o.Spec.ASN})
+			clients = append(clients, o)
+		}
+	}
+	s.candNodes, s.candClients = nodes, clients
+	return nodes, clients
 }
 
 // connect establishes a symmetric neighbor relationship.
@@ -460,28 +539,47 @@ func (s *Sim) connect(a, b *Client) {
 	b.conns = append(b.conns, cn)
 	a.connOf[b.ID] = cn
 	b.connOf[a.ID] = cn
-	// Availability bookkeeping.
+	// Availability and interest bookkeeping.
 	for p := 0; p < s.pieces; p++ {
 		if b.has[p] {
 			a.avail[p]++
+			if !a.has[p] {
+				cn.novel[1]++ // b has a piece a lacks
+			}
 		}
 		if a.has[p] {
 			b.avail[p]++
+			if !b.has[p] {
+				cn.novel[0]++ // a has a piece b lacks
+			}
 		}
 	}
 }
 
-// interestedIn reports whether d wants data from u.
-func interestedIn(d, u *Client) bool {
+// interestedIn reports whether d wants data from its neighbor u: O(1)
+// via the incrementally maintained per-conn novel-piece counters.
+func (s *Sim) interestedIn(d, u *Client) bool {
 	if d.done {
 		return false
 	}
-	for p := range u.has {
-		if u.has[p] && !d.has[p] {
-			return true
+	cn := u.connOf[d.ID]
+	return cn != nil && cn.novel[cn.dirIndex(u)] > 0
+}
+
+// gainPiece records that d now has the given piece, updating neighbor
+// availability and the per-conn interest counters.
+func (s *Sim) gainPiece(d *Client, piece int) {
+	d.has[piece] = true
+	d.numHas++
+	for _, cn := range d.conns {
+		p := cn.peer(d)
+		p.avail[piece]++
+		if p.has[piece] {
+			cn.novel[cn.dirIndex(p)]-- // d no longer lacks a piece p has
+		} else {
+			cn.novel[cn.dirIndex(d)]++ // d gained a piece p still lacks
 		}
 	}
-	return false
 }
 
 // handleReselect re-runs tracker selection for every joined client and
@@ -499,28 +597,25 @@ func (s *Sim) handleReselect() {
 }
 
 func (s *Sim) reselectClient(c *Client) {
-	var candidates []apptracker.Node
-	var candClients []*Client
-	for _, o := range s.clients {
-		if o.joined && o != c {
-			candidates = append(candidates, apptracker.Node{ID: o.ID, PID: o.Spec.PID, ASN: o.Spec.ASN})
-			candClients = append(candClients, o)
-		}
-	}
+	candidates, candClients := s.trackerCandidates(c)
 	self := apptracker.Node{ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN}
 	sel := s.cfg.Selector.Select(self, candidates, s.cfg.NeighborTarget, s.rng)
-	want := map[int]bool{}
+	s.wantEpoch++
 	for _, idx := range sel {
-		want[candClients[idx].ID] = true
+		candClients[idx].wantMark = s.wantEpoch
 	}
-	// Drop idle connections the fresh selection no longer includes.
-	for _, cn := range append([]*conn(nil), c.conns...) {
+	// Drop idle connections the fresh selection no longer includes,
+	// iterating over a scratch snapshot because disconnect mutates
+	// c.conns.
+	snapshot := append(s.connScratch[:0], c.conns...)
+	for _, cn := range snapshot {
 		p := cn.peer(c)
-		if want[p.ID] || cn.flow[0] != nil || cn.flow[1] != nil {
+		if p.wantMark == s.wantEpoch || cn.flow[0] != nil || cn.flow[1] != nil {
 			continue
 		}
 		s.disconnect(cn)
 	}
+	s.connScratch = snapshot
 	// Connect the newly selected peers (connect dedupes).
 	for _, idx := range sel {
 		s.connect(c, candClients[idx])
@@ -576,21 +671,26 @@ func (s *Sim) handleRechoke() {
 	}
 }
 
+// rechokeCand is one interested neighbor under rechoke evaluation.
+// Candidates accumulate in Sim.candScratch so the per-client rechoke
+// allocates nothing.
+type rechokeCand struct {
+	cn    *conn
+	peer  *Client
+	score float64
+}
+
 // rechokeClient re-evaluates u's unchoke set: top (slots-1) interested
 // peers by bytes they sent us during the last interval (random for
 // seeds), plus one optimistic slot rotated every OptimisticEvery
-// rechokes.
+// rechokes. Membership in the new unchoke set is tracked by stamping
+// peers with the current unchoke epoch instead of building a set.
 func (s *Sim) rechokeClient(u *Client) {
 	u.rechokeNum++
-	type cand struct {
-		cn    *conn
-		peer  *Client
-		score float64
-	}
-	var interested []cand
+	interested := s.candScratch[:0]
 	for _, cn := range u.conns {
 		p := cn.peer(u)
-		if !p.joined || !interestedIn(p, u) {
+		if !p.joined || !s.interestedIn(p, u) {
 			continue
 		}
 		// Tit-for-tat: bytes p uploaded to u during the last interval.
@@ -599,29 +699,34 @@ func (s *Sim) rechokeClient(u *Client) {
 			// Seeds have no download to reciprocate; randomize.
 			score = s.rng.Float64()
 		}
-		interested = append(interested, cand{cn, p, score})
+		interested = append(interested, rechokeCand{cn, p, score})
 	}
-	sort.SliceStable(interested, func(i, j int) bool {
-		if interested[i].score != interested[j].score {
-			return interested[i].score > interested[j].score
+	slices.SortStableFunc(interested, func(a, b rechokeCand) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
 		}
-		return interested[i].peer.ID < interested[j].peer.ID
+		return cmp.Compare(a.peer.ID, b.peer.ID)
 	})
+	s.candScratch = interested
 	regular := s.cfg.UploadSlots - 1
 	if regular < 0 {
 		regular = 0
 	}
-	newSet := map[*Client]bool{}
+	s.unchokeEpoch++
+	mark := s.unchokeEpoch
 	for i := 0; i < len(interested) && i < regular; i++ {
-		newSet[interested[i].peer] = true
+		interested[i].peer.unchokeMark = mark
 	}
 	// Optimistic slot.
-	rotate := u.optimistic == nil || !interestedIn(u.optimistic, u) ||
+	rotate := u.optimistic == nil || !s.interestedIn(u.optimistic, u) ||
 		u.rechokeNum%s.cfg.OptimisticEvery == 0
 	if rotate {
-		var pool []*Client
+		pool := s.poolScratch[:0]
 		for _, c := range interested {
-			if !newSet[c.peer] {
+			if c.peer.unchokeMark != mark {
 				pool = append(pool, c.peer)
 			}
 		}
@@ -630,16 +735,17 @@ func (s *Sim) rechokeClient(u *Client) {
 		} else {
 			u.optimistic = nil
 		}
+		s.poolScratch = pool
 	}
-	if u.optimistic != nil && !newSet[u.optimistic] && interestedIn(u.optimistic, u) {
-		newSet[u.optimistic] = true
+	if u.optimistic != nil && u.optimistic.unchokeMark != mark && s.interestedIn(u.optimistic, u) {
+		u.optimistic.unchokeMark = mark
 	}
 	// Apply: choke removed peers (in-flight pieces finish), unchoke new.
 	for _, cn := range u.conns {
 		p := cn.peer(u)
 		dir := cn.dirIndex(u)
 		was := cn.unchoked[dir]
-		cn.unchoked[dir] = newSet[p]
+		cn.unchoked[dir] = p.unchokeMark == mark
 		if !was && cn.unchoked[dir] {
 			s.tryStart(u, p)
 		}
@@ -745,30 +851,32 @@ func (s *Sim) flushFlow(f *flow) {
 	f.moved = 0
 }
 
-// ratesChanged recomputes the rates of all flows incident to the given
+// ratesChanged recomputes the rates of all flows incident to the two
 // endpoints (their fair shares changed) and reschedules finish events.
-func (s *Sim) ratesChanged(endpoints ...*Client) {
-	touched := map[*flow]bool{}
-	for _, c := range endpoints {
+// Flows are deduplicated by stamping them with a fresh epoch and
+// collected into a scratch slice reused across calls; the sort keeps
+// the same deterministic (uploader, downloader) iteration order the
+// map-based implementation produced.
+func (s *Sim) ratesChanged(a, b *Client) {
+	s.flowEpoch++
+	flows := s.flowScratch[:0]
+	for _, c := range [2]*Client{a, b} {
 		for _, cn := range c.conns {
 			for dir := 0; dir < 2; dir++ {
-				if f := cn.flow[dir]; f != nil && f.active {
-					touched[f] = true
+				if f := cn.flow[dir]; f != nil && f.active && f.epoch != s.flowEpoch {
+					f.epoch = s.flowEpoch
+					flows = append(flows, f)
 				}
 			}
 		}
 	}
-	// Deterministic iteration: collect and sort by endpoint IDs.
-	flows := make([]*flow, 0, len(touched))
-	for f := range touched {
-		flows = append(flows, f)
-	}
-	sort.Slice(flows, func(i, j int) bool {
-		if flows[i].u.ID != flows[j].u.ID {
-			return flows[i].u.ID < flows[j].u.ID
+	slices.SortFunc(flows, func(x, y *flow) int {
+		if x.u.ID != y.u.ID {
+			return cmp.Compare(x.u.ID, y.u.ID)
 		}
-		return flows[i].d.ID < flows[j].d.ID
+		return cmp.Compare(x.d.ID, y.d.ID)
 	})
+	s.flowScratch = flows
 	for _, f := range flows {
 		newRate := flowRate(f)
 		if newRate == f.rate {
@@ -828,11 +936,7 @@ func (s *Sim) handleFlowFinish(f *flow) {
 	delete(d.pending, f.piece)
 	// The downloader gains the piece.
 	if !d.has[f.piece] {
-		d.has[f.piece] = true
-		d.numHas++
-		for _, cn := range d.conns {
-			cn.peer(d).avail[f.piece]++
-		}
+		s.gainPiece(d, f.piece)
 		if d.numHas == s.pieces && !d.done {
 			d.done = true
 			d.doneAt = s.now
@@ -865,11 +969,15 @@ func (s *Sim) handleFlowFinish(f *flow) {
 
 func (s *Sim) handleMeasure() {
 	if s.cfg.OnMeasure != nil {
-		rates := make([]float64, len(s.linkRate))
-		for i, r := range s.linkRate {
-			rates[i] = r * 8 // bytes/sec -> bits/sec
+		if s.measureBuf == nil {
+			s.measureBuf = make([]float64, len(s.linkRate))
 		}
-		s.cfg.OnMeasure(s.now, rates)
+		for i, r := range s.linkRate {
+			s.measureBuf[i] = r * 8 // bytes/sec -> bits/sec
+		}
+		// The buffer is reused every interval; per the Config.OnMeasure
+		// contract, callbacks copy it if they retain it.
+		s.cfg.OnMeasure(s.now, s.measureBuf)
 	}
 	if s.incomplete > 0 || s.cfg.Streaming != nil {
 		s.push(event{t: s.now + s.cfg.MeasureInterval, kind: evMeasure})

@@ -77,11 +77,7 @@ func (s *Sim) handleStreamPiece(src *Client) {
 	p := sc.head
 	sc.head++
 	if !src.has[p] {
-		src.has[p] = true
-		src.numHas++
-		for _, cn := range src.conns {
-			cn.peer(src).avail[p]++
-		}
+		s.gainPiece(src, p)
 	}
 	for _, cn := range src.conns {
 		if cn.unchoked[cn.dirIndex(src)] {

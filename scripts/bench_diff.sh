@@ -1,0 +1,61 @@
+#!/bin/sh
+# Compare two benchmark JSON files written by scripts/bench_json.sh,
+# matching benchmarks by name and printing the old/new values with
+# percentage deltas. Stdlib tooling only (awk); negative deltas are
+# improvements for every column.
+#
+# Usage: bench_diff.sh OLD.json NEW.json
+#   e.g. git show HEAD~1:BENCH_sim.json >/tmp/old.json &&
+#        scripts/bench_diff.sh /tmp/old.json BENCH_sim.json
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 OLD.json NEW.json" >&2
+	exit 2
+fi
+
+awk '
+function field(line, key,    v) {
+    v = line
+    if (!sub(".*\"" key "\": ", "", v)) return ""
+    sub(/[,}].*/, "", v)
+    gsub(/"/, "", v)
+    return v
+}
+function pct(old, new) {
+    if (old + 0 == 0) return "n/a"
+    return sprintf("%+.1f%%", 100 * (new - old) / old)
+}
+FNR == 1 { fileno++ }
+/"name":/ {
+    name = field($0, "name")
+    if (name == "") next
+    if (fileno == 1) {
+        if (!(name in ons)) order[n++] = name
+        ons[name] = field($0, "ns_per_op")
+        ob[name]  = field($0, "bytes_per_op")
+        oa[name]  = field($0, "allocs_per_op")
+    } else {
+        if (!(name in ons) && !(name in nns)) order[n++] = name
+        nns[name] = field($0, "ns_per_op")
+        nb[name]  = field($0, "bytes_per_op")
+        na[name]  = field($0, "allocs_per_op")
+    }
+}
+END {
+    printf "%-40s %15s %15s %9s %9s %9s\n", \
+        "benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in ons)) {
+            printf "%-40s %15s %15s   (only in new)\n", name, "-", nns[name]
+            continue
+        }
+        if (!(name in nns)) {
+            printf "%-40s %15s %15s   (only in old)\n", name, ons[name], "-"
+            continue
+        }
+        printf "%-40s %15s %15s %9s %9s %9s\n", name, ons[name], nns[name], \
+            pct(ons[name], nns[name]), pct(ob[name], nb[name]), pct(oa[name], na[name])
+    }
+}' "$1" "$2"

@@ -1,14 +1,45 @@
 #!/bin/sh
-# Run the portal benchmarks (request path, 304 revalidation, view
-# recompute) and emit the results as JSON at BENCH_portal.json in the
-# repo root, so runs can be diffed across commits. Stdlib tooling only:
-# go test -bench output parsed with awk.
+# Run a benchmark suite and emit the results as JSON in the repo root,
+# so runs can be diffed across commits (scripts/bench_diff.sh). Stdlib
+# tooling only: go test -bench output parsed with awk.
+#
+# Usage: bench_json.sh [portal|sim]
+#
+#   portal (default)  portal request path, 304 revalidation, view
+#                     recompute -> BENCH_portal.json
+#   sim               p2psim hot-path benchmarks plus the Figure 7
+#                     swarm-size sweep, parallel and serial
+#                     -> BENCH_sim.json
+#
+# BENCHTIME overrides the micro-benchmark -benchtime (default 1s);
+# P4P_SCALE the sweep workload scale (default 0.25).
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_portal.json
-RAW=$(go test -run '^$' -bench 'BenchmarkPortal|BenchmarkViewRecompute' \
-	-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/portal/)
+MODE=${1:-portal}
+case "$MODE" in
+portal)
+	OUT=BENCH_portal.json
+	RAW=$(go test -run '^$' -bench 'BenchmarkPortal|BenchmarkViewRecompute' \
+		-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/portal/)
+	;;
+sim)
+	OUT=BENCH_sim.json
+	# The sweep is a macro-benchmark: one iteration, fixed scale. Its
+	# Serial variant pins Parallelism to 1; the delta between the two
+	# wall-clock times is the parallel harness's speedup on this host.
+	RAW=$(
+		go test -run '^$' -bench 'BenchmarkSim' \
+			-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/p2psim/
+		go test -run '^$' -bench 'BenchmarkFigure7SwarmSize(Serial)?$' \
+			-benchmem -benchtime 1x -p4p.scale "${P4P_SCALE:-0.25}" .
+	)
+	;;
+*)
+	echo "usage: $0 [portal|sim]" >&2
+	exit 2
+	;;
+esac
 
 printf '%s\n' "$RAW"
 printf '%s\n' "$RAW" | awk '
@@ -17,13 +48,22 @@ BEGIN { n = 0 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
-    # BenchmarkName-8  123456  987 ns/op  64 B/op  2 allocs/op
+    # BenchmarkName-8  123456  987 ns/op  64 B/op  2 allocs/op [extras]
+    # Token-scan for the unit suffixes: experiment benchmarks append
+    # ReportMetric extras, so fixed field positions would misparse.
     name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; b = 0; a = 0
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")          ns = $i
+        else if ($(i+1) == "B/op")      b  = $i
+        else if ($(i+1) == "allocs/op") a  = $i
+    }
+    if (ns == "") next
     bench[n]  = name
     iters[n]  = $2
-    nsop[n]   = $3
-    bop[n]    = $5
-    allocs[n] = $7
+    nsop[n]   = ns
+    bop[n]    = b
+    allocs[n] = a
     n++
 }
 END {
