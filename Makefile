@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet p4pvet verify fuzz-smoke bench bench-json bench-sim-json
+.PHONY: build test race vet p4pvet verify fuzz-smoke bench bench-json bench-sim-json bench-load-json
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,10 @@ bench-json:
 # scripts/bench_diff.sh.
 bench-sim-json:
 	sh scripts/bench_json.sh sim
+
+# Closed-loop HTTP load run (cmd/p4pload) against an in-process portal,
+# emitted as JSON at BENCH_load.json: sustained QPS and latency
+# quantiles per scenario. LOAD_DURATION/LOAD_WARMUP/LOAD_C tune the
+# run shape.
+bench-load-json:
+	sh scripts/bench_json.sh load

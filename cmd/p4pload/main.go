@@ -1,0 +1,347 @@
+// Command p4pload is a closed-loop load generator for the portal's
+// serving path: N workers issue back-to-back requests for a fixed
+// duration and the tool reports sustained QPS and latency quantiles
+// per scenario. It exists to measure the encoded-response cache under
+// concurrency — the micro-benchmarks (BENCH_portal.json) time one
+// handler call in isolation; this drives the full HTTP stack.
+//
+// Scenarios:
+//
+//	distances   GET /p4p/v1/distances (200 + full matrix, cached bytes)
+//	revalidate  GET with If-None-Match (304, no body)
+//	batch       POST /p4p/v1/distances/batch with -batch pairs
+//	all         each of the above in sequence
+//
+// With no -url, an in-process portal is served on 127.0.0.1:0 over the
+// -topology graph, so the tool is self-contained for CI smoke runs:
+//
+//	p4pload -duration 2s -c 8 -scenario all -out BENCH_load.json
+//
+// -update additionally bumps prices on an interval during the run,
+// exercising cache invalidation under load. Results append machine
+// metadata and are written as JSON (see scripts/bench_json.sh load,
+// which commits them as BENCH_load.json).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"p4p/internal/core"
+	"p4p/internal/itracker"
+	"p4p/internal/portal"
+	"p4p/internal/topology"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50us       int64   `json:"p50_us"`
+	P99us       int64   `json:"p99_us"`
+	Maxus       int64   `json:"max_us"`
+}
+
+type report struct {
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	CPUs    int      `json:"cpus"`
+	Target  string   `json:"target"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "portal base URL (empty = serve an in-process portal)")
+		topoName = flag.String("topology", "abilene", "in-process topology: abilene, abilene-virtual, isp-a, isp-b, isp-c")
+		workers  = flag.Int("c", 8, "concurrent closed-loop workers")
+		duration = flag.Duration("duration", 5*time.Second, "measured run length per scenario")
+		warmup   = flag.Duration("warmup", time.Second, "warmup length per scenario (discarded)")
+		scenario = flag.String("scenario", "all", "scenario: distances, revalidate, batch, or all")
+		batchN   = flag.Int("batch", 16, "pairs per batch request")
+		update   = flag.Duration("update", 0, "if set, run a price update every interval during the run")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+		token    = flag.String("token", "", "trust token presented on requests")
+	)
+	flag.Parse()
+
+	target := *url
+	var tr *itracker.Server
+	if target == "" {
+		g, err := topologyByName(*topoName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		r := topology.ComputeRouting(g)
+		tr = itracker.New(itracker.Config{Name: g.Name, ASN: 1}, core.NewEngine(g, r, core.Config{}), nil)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: portal.NewHandler(tr), ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(ln)
+		defer srv.Close()
+		target = "http://" + ln.Addr().String()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *update > 0 {
+		go func() {
+			var loads []float64
+			if tr != nil {
+				loads = make([]float64, tr.Engine().Graph().NumLinks())
+			}
+			tick := time.NewTicker(*update)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if tr != nil {
+						tr.ObserveAndUpdate(loads)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        *workers * 2,
+		MaxIdleConnsPerHost: *workers * 2,
+	}
+	hc := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	// Prime: fetch the current view once for the revalidation ETag and
+	// the PID set batch pairs draw from.
+	c := portal.NewClient(target, *token)
+	c.HTTPClient = hc
+	view, err := c.DistancesContext(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4pload: priming fetch against %s: %v\n", target, err)
+		os.Exit(1)
+	}
+	etag, err := fetchETag(ctx, hc, target, *token)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4pload: %v\n", err)
+		os.Exit(1)
+	}
+	pairs := make([]portal.PIDPair, *batchN)
+	for i := range pairs {
+		pairs[i] = portal.PIDPair{
+			Src: view.PIDs[i%len(view.PIDs)],
+			Dst: view.PIDs[(i+1)%len(view.PIDs)],
+		}
+	}
+	batchBody, err := json.Marshal(struct {
+		Pairs []portal.PIDPair `json:"pairs"`
+	}{pairs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4pload: %v\n", err)
+		os.Exit(1)
+	}
+
+	scenarios := map[string]shot{
+		"distances":  {method: http.MethodGet, path: "/p4p/v1/distances", want: http.StatusOK},
+		"revalidate": {method: http.MethodGet, path: "/p4p/v1/distances", etag: etag, want: http.StatusNotModified},
+		"batch":      {method: http.MethodPost, path: "/p4p/v1/distances/batch", body: batchBody, want: http.StatusOK},
+	}
+	var names []string
+	if *scenario == "all" {
+		names = []string{"distances", "revalidate", "batch"}
+	} else if _, ok := scenarios[*scenario]; ok {
+		names = []string{*scenario}
+	} else {
+		fmt.Fprintf(os.Stderr, "p4pload: unknown scenario %q (want distances, revalidate, batch, all)\n", *scenario)
+		os.Exit(2)
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(), Target: target}
+	failed := false
+	for _, name := range names {
+		s := scenarios[name]
+		if *warmup > 0 {
+			run(ctx, hc, target, *token, s, *workers, *warmup)
+		}
+		res := run(ctx, hc, target, *token, s, *workers, *duration)
+		res.Name = name
+		rep.Results = append(rep.Results, res)
+		if res.Errors > 0 {
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-11s c=%d %8.0f req/s  p50 %6dus  p99 %6dus  max %6dus  (%d req, %d err)\n",
+			name, res.Concurrency, res.QPS, res.P50us, res.P99us, res.Maxus, res.Requests, res.Errors)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4pload: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "p4pload: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "p4pload: scenario recorded request errors")
+		os.Exit(1)
+	}
+}
+
+// shot describes one request shape a scenario repeats.
+type shot struct {
+	method string
+	path   string
+	etag   string
+	body   []byte
+	want   int
+}
+
+// run drives workers closed-loop copies of s for d and merges their
+// latency samples.
+func run(ctx context.Context, hc *http.Client, target, token string, s shot, workers int, d time.Duration) result {
+	deadline := time.Now().Add(d)
+	lats := make([][]int64, workers)
+	errs := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples := make([]int64, 0, 1<<14)
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				start := time.Now()
+				if err := fire(ctx, hc, target, token, s); err != nil {
+					errs[w]++
+					continue
+				}
+				samples = append(samples, time.Since(start).Microseconds())
+			}
+			lats[w] = samples
+		}(w)
+	}
+	wg.Wait()
+
+	var all []int64
+	var errors int64
+	for w := 0; w < workers; w++ {
+		all = append(all, lats[w]...)
+		errors += errs[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := result{
+		Concurrency: workers,
+		DurationS:   d.Seconds(),
+		Requests:    int64(len(all)),
+		Errors:      errors,
+		QPS:         float64(len(all)) / d.Seconds(),
+	}
+	if len(all) > 0 {
+		res.P50us = all[len(all)/2]
+		res.P99us = all[len(all)*99/100]
+		res.Maxus = all[len(all)-1]
+	}
+	return res
+}
+
+// fire issues one request and fully drains the response so the
+// connection is reused.
+func fire(ctx context.Context, hc *http.Client, target, token string, s shot) error {
+	var body *strings.Reader
+	var req *http.Request
+	var err error
+	if s.body != nil {
+		body = strings.NewReader(string(s.body))
+		req, err = http.NewRequestWithContext(ctx, s.method, target+s.path, body)
+	} else {
+		req, err = http.NewRequestWithContext(ctx, s.method, target+s.path, nil)
+	}
+	if err != nil {
+		return err
+	}
+	if s.body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if s.etag != "" {
+		req.Header.Set("If-None-Match", s.etag)
+	}
+	if token != "" {
+		req.Header.Set("X-P4P-Token", token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	if resp.StatusCode != s.want {
+		return fmt.Errorf("status %d, want %d", resp.StatusCode, s.want)
+	}
+	return nil
+}
+
+// drain discards and closes a response body so the keep-alive
+// connection returns to the pool.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// fetchETag reads the current distances ETag for the revalidation
+// scenario.
+func fetchETag(ctx context.Context, hc *http.Client, target, token string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/p4p/v1/distances", nil)
+	if err != nil {
+		return "", err
+	}
+	if token != "" {
+		req.Header.Set("X-P4P-Token", token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	drain(resp)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		return "", errors.New("portal sent no ETag on /p4p/v1/distances")
+	}
+	return etag, nil
+}
+
+func topologyByName(name string) (*topology.Graph, error) {
+	switch strings.ToLower(name) {
+	case "abilene":
+		return topology.Abilene(), nil
+	case "abilene-virtual":
+		return topology.AbileneVirtualISPs(), nil
+	case "isp-a", "ispa":
+		return topology.ISPA(), nil
+	case "isp-b", "ispb":
+		return topology.ISPB(), nil
+	case "isp-c", "ispc":
+		return topology.ISPC(), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want abilene, abilene-virtual, isp-a, isp-b, isp-c)", name)
+	}
+}

@@ -155,3 +155,28 @@ func TestLoaderSplitsTestFiles(t *testing.T) {
 		t.Fatalf("test/prod split = %d/%d, want 1/1", test, prod)
 	}
 }
+
+// TestLoaderHonorsBuildConstraints checks //go:build evaluation: of a
+// race / !race const-guard pair only the default-build half loads (the
+// pair would redeclare the constant), and a never-satisfiable
+// constraint excludes its file entirely.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	pkgs := loadFixture(t, "buildtags")
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d units, want 1", len(pkgs))
+	}
+	var names []string
+	for _, f := range pkgs[0].Files {
+		names = append(names, filepath.Base(pkgs[0].Fset.Position(f.Pos()).Filename))
+	}
+	sort.Strings(names)
+	want := []string{"a.go", "guard_norace.go"}
+	if len(names) != len(want) {
+		t.Fatalf("loaded %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("loaded %v, want %v", names, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -71,6 +72,13 @@ func (l *Loader) LoadDir(dir, importPath string) ([]*Pkg, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !l.buildIncluded(f) {
+			// Files excluded by //go:build constraints (e.g. the race /
+			// !race const-guard pairs) would redeclare symbols if both
+			// halves were typechecked together; keep the same view the
+			// default build does.
+			continue
+		}
 		files = append(files, parsedFile{file: f, isTest: strings.HasSuffix(name, "_test.go")})
 	}
 	if len(files) == 0 {
@@ -117,6 +125,59 @@ func (l *Loader) LoadDir(dir, importPath string) ([]*Pkg, error) {
 type parsedFile struct {
 	file   *ast.File
 	isTest bool
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any)
+// against go/build's default context — GOOS, GOARCH, compiler, release
+// tags, and any configured build tags — mirroring which files `go
+// build` would compile. Files with no constraint are always included.
+func (l *Loader) buildIncluded(f *ast.File) bool {
+	expr := buildConstraint(f)
+	if expr == nil {
+		return true
+	}
+	ctxt := &build.Default
+	return expr.Eval(func(tag string) bool {
+		switch tag {
+		case ctxt.GOOS, ctxt.GOARCH, ctxt.Compiler:
+			return true
+		case "unix":
+			// The unix pseudo-tag covers every GOOS this repo targets in
+			// practice; windows/plan9 builders would refine this.
+			return ctxt.GOOS != "windows" && ctxt.GOOS != "plan9"
+		case "cgo":
+			return ctxt.CgoEnabled
+		}
+		for _, t := range ctxt.BuildTags {
+			if tag == t {
+				return true
+			}
+		}
+		for _, t := range ctxt.ReleaseTags {
+			if tag == t {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// buildConstraint returns the file's //go:build expression, or nil.
+// Only comments above the package clause can carry one.
+func buildConstraint(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				if expr, err := constraint.Parse(c.Text); err == nil {
+					return expr
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func (l *Loader) check(importPath, dir string, files []parsedFile) (*Pkg, error) {

@@ -1,0 +1,6 @@
+// Package buildtags exercises the loader's //go:build handling: the
+// race / !race pair declares the same constant, so including both
+// halves would fail typechecking.
+package buildtags
+
+const uses = guarded

@@ -1,0 +1,5 @@
+//go:build !race
+
+package buildtags
+
+const guarded = false

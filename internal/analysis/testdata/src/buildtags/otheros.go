@@ -1,0 +1,7 @@
+//go:build someother_goos && !someother_goos
+
+package buildtags
+
+// Never buildable; the loader must skip it rather than typecheck the
+// undefined identifier below.
+const broken = definitelyNotDeclared

@@ -2,11 +2,13 @@ package apptracker
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"sync"
 	"time"
 
 	"p4p/internal/core"
+	"p4p/internal/portal"
 	"p4p/internal/telemetry"
 )
 
@@ -15,6 +17,13 @@ import (
 // failing/slow/flaky implementations.
 type ViewFetcher interface {
 	DistancesContext(ctx context.Context) (*core.View, error)
+}
+
+// BatchFetcher is the optional batch-endpoint slice of the portal
+// client; *portal.Client satisfies it. PortalViews falls back to it
+// when it has no usable full view for a batch query.
+type BatchFetcher interface {
+	BatchDistancesContext(ctx context.Context, pairs []portal.PIDPair) (*portal.BatchResult, error)
 }
 
 // ViewStats counts how the view cache is behaving; appTrackers export
@@ -236,6 +245,55 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 	p.nextRetry = time.Time{}
 	p.mu.Unlock()
 	return v
+}
+
+// errNoBatchSource reports a batch query with neither a cached view
+// covering the pairs nor a batch-capable client.
+var errNoBatchSource = errors.New("apptracker: no cached view covers the pairs and the portal client has no batch support")
+
+// BatchDistances answers a set of src→dst distance queries. It prefers
+// the cached full view — refreshed through the usual TTL /
+// singleflight / last-known-good machinery of ViewFor, so it costs no
+// network in steady state — and falls back to the portal's batch
+// endpoint (many pairs per request, no square matrix on the wire) when
+// no held view covers the requested PIDs. Unreachable pairs come back
+// as +Inf, mirroring core.View.
+func (p *PortalViews) BatchDistances(ctx context.Context, pairs []portal.PIDPair) ([]float64, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	if dv := p.ViewFor(0); dv != nil {
+		if v, ok := dv.(*core.View); ok && viewCovers(v, pairs) {
+			out := make([]float64, len(pairs))
+			for i, pr := range pairs {
+				out[i] = v.Distance(pr.Src, pr.Dst)
+			}
+			return out, nil
+		}
+	}
+	bf, ok := p.Client.(BatchFetcher)
+	if !ok {
+		return nil, errNoBatchSource
+	}
+	res, err := bf.BatchDistancesContext(ctx, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return res.Distances, nil
+}
+
+// viewCovers reports whether every PID in pairs is present in the view
+// (View.Distance panics on absent PIDs).
+func viewCovers(v *core.View, pairs []portal.PIDPair) bool {
+	for _, pr := range pairs {
+		if _, ok := v.Index(pr.Src); !ok {
+			return false
+		}
+		if _, ok := v.Index(pr.Dst); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats returns a snapshot of the cache counters.

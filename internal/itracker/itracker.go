@@ -143,6 +143,21 @@ type Server struct {
 	trusted     map[string]bool
 	queryCount  int64
 	updateCount int64
+
+	encoded     map[string]*encodedEntry // fully-encoded bodies by form
+	encInflight map[string]chan struct{} // per-form encode singleflight
+
+	// testHookPreMatrix, when non-nil, runs inside the singleflight
+	// materializer just before engine.Matrix; tests use it to inject
+	// panics and to synchronize on "a recompute is in flight".
+	testHookPreMatrix func()
+}
+
+// encodedEntry is one cached wire-ready response body: the bytes an
+// EncodeFunc produced for the view of one engine version.
+type encodedEntry struct {
+	version int
+	body    []byte
 }
 
 // ErrAccessDenied is returned when a caller lacks a trusted token on a
@@ -152,7 +167,12 @@ var ErrAccessDenied = errors.New("itracker: access denied")
 // New builds an iTracker over a p-distance engine and an IP-to-PID map
 // (which may be nil if PID lookup is not served).
 func New(cfg Config, engine *core.Engine, pidMap *PIDMap) *Server {
-	t := &Server{cfg: cfg, engine: engine, pidMap: pidMap, trusted: map[string]bool{}}
+	t := &Server{
+		cfg: cfg, engine: engine, pidMap: pidMap,
+		trusted:     map[string]bool{},
+		encoded:     map[string]*encodedEntry{},
+		encInflight: map[string]chan struct{}{},
+	}
 	for _, tok := range cfg.TrustedTokens {
 		t.trusted[tok] = true
 	}
@@ -215,24 +235,109 @@ func (t *Server) Distances(token string) (*core.View, error) {
 		done := make(chan struct{})
 		t.inflight = done
 		t.mu.Unlock()
-
-		start := time.Now()
-		pids := t.engine.Graph().AggregationPIDs()
-		view := t.engine.Matrix(pids)
-		t.Metrics.recompute(time.Since(start), view.Version)
-
-		t.mu.Lock()
-		t.cachedView = view
-		t.cachedVer = view.Version
-		t.recomputes++
-		t.inflight = nil
-		t.mu.Unlock()
-		close(done)
 		// If a price update raced the recompute, view.Version lags the
 		// engine and the next caller re-materializes; this caller still
 		// gets a self-consistent snapshot.
-		return view, nil
+		return t.materialize(done), nil
 	}
+}
+
+// materialize runs the singleflight view recompute. Cleanup runs under
+// defer: the in-flight marker is cleared and waiters are released even
+// when engine.Matrix panics — otherwise one panicking recompute would
+// leave t.inflight set and done unclosed, wedging every concurrent and
+// future caller forever. The panic itself still propagates to the
+// materializing caller; released waiters simply retry.
+func (t *Server) materialize(done chan struct{}) (view *core.View) {
+	defer func() {
+		t.mu.Lock()
+		if view != nil {
+			t.cachedView = view
+			t.cachedVer = view.Version
+			t.recomputes++
+		}
+		t.inflight = nil
+		t.mu.Unlock()
+		close(done)
+	}()
+	start := time.Now()
+	pids := t.engine.Graph().AggregationPIDs()
+	if t.testHookPreMatrix != nil {
+		t.testHookPreMatrix()
+	}
+	view = t.engine.Matrix(pids)
+	t.Metrics.recompute(time.Since(start), view.Version)
+	return view
+}
+
+// EncodeFunc serializes a materialized view into wire-ready response
+// bytes. It must be deterministic for a given view: EncodedView caches
+// its output per (engine version, form) and replays the same bytes to
+// every caller until the version bumps.
+type EncodeFunc func(*core.View) ([]byte, error)
+
+// EncodedView serves the p4p-distance interface as pre-encoded bytes:
+// the fully-rendered response body for the current engine version and
+// the given form, cached so steady-state portal traffic never touches
+// the encoder ("network information should be aggregated and allow
+// caching" — extended all the way to the wire). The returned slice is
+// shared between callers and must not be mutated.
+//
+// Like the view itself, encoding is singleflight per form: when a
+// version bump invalidates the cached bytes, exactly one caller
+// materializes the view (through Distances' own singleflight) and runs
+// encode, while concurrent callers wait without holding the server
+// lock. Encode failures are returned, not cached.
+func (t *Server) EncodedView(token, form string, encode EncodeFunc) ([]byte, int, error) {
+	if !t.authorized(token) {
+		return nil, 0, ErrAccessDenied
+	}
+	t.mu.Lock()
+	for {
+		if e := t.encoded[form]; e != nil && e.version == t.engine.Version() {
+			t.queryCount++
+			t.mu.Unlock()
+			return e.body, e.version, nil
+		}
+		if done := t.encInflight[form]; done != nil {
+			// Another goroutine is encoding this form; wait with the
+			// lock released, then re-check the cache.
+			t.mu.Unlock()
+			<-done
+			t.mu.Lock()
+			continue
+		}
+		t.encInflight[form] = make(chan struct{})
+		t.mu.Unlock()
+		return t.encodeView(token, form, encode)
+	}
+}
+
+// encodeView materializes and encodes the current view for one form.
+// Publication and waiter release run under defer, so a panicking
+// engine or encoder cannot strand the per-form singleflight.
+func (t *Server) encodeView(token, form string, encode EncodeFunc) (body []byte, version int, err error) {
+	var entry *encodedEntry
+	defer func() {
+		t.mu.Lock()
+		if entry != nil {
+			t.encoded[form] = entry
+		}
+		done := t.encInflight[form]
+		delete(t.encInflight, form)
+		t.mu.Unlock()
+		close(done)
+	}()
+	v, err := t.Distances(token)
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err = encode(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	entry = &encodedEntry{version: v.Version, body: body}
+	return body, v.Version, nil
 }
 
 // ViewVersion reports the engine version a Distances call would serve,

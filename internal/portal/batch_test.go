@@ -1,0 +1,189 @@
+package portal
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"p4p/internal/itracker"
+)
+
+func TestBatchEndpointGET(t *testing.T) {
+	srv, tr := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
+	full, err := tr.Distances("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/p4p/v1/distances/batch?pairs=0-1,1-2,2-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var w BatchResponseWire
+	if err := decodeBody(resp, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Version != full.Version {
+		t.Fatalf("batch version %d, view version %d", w.Version, full.Version)
+	}
+	want := []float64{full.Distance(0, 1), full.Distance(1, 2), full.Distance(2, 0)}
+	if len(w.Distances) != len(want) {
+		t.Fatalf("got %d distances, want %d", len(w.Distances), len(want))
+	}
+	for i, d := range w.Distances {
+		if d != want[i] {
+			t.Fatalf("pair %d: batch %v, full view %v", i, d, want[i])
+		}
+	}
+}
+
+func TestBatchEndpointClientRoundTrip(t *testing.T) {
+	srv, tr := newTestPortal(t, itracker.Config{Name: "t", ASN: 1, TrustedTokens: []string{"tok"}})
+	c := NewClient(srv.URL, "tok")
+	pairs := []PIDPair{{Src: 0, Dst: 1}, {Src: 3, Dst: 7}, {Src: 5, Dst: 5}}
+	res, err := c.BatchDistances(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tr.Distances("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != full.Version {
+		t.Fatalf("batch version %d, view version %d", res.Version, full.Version)
+	}
+	for i, pr := range pairs {
+		if got, want := res.Distances[i], full.Distance(pr.Src, pr.Dst); got != want {
+			t.Fatalf("pair %v: batch %v, full view %v", pr, got, want)
+		}
+	}
+
+	denied := NewClient(srv.URL, "nope")
+	if _, err := denied.BatchDistances(pairs); err == nil {
+		t.Fatal("expected denial for untrusted token")
+	}
+}
+
+func TestBatchEmptyPairsShortCircuits(t *testing.T) {
+	// No server: an empty batch must not issue a request at all.
+	c := NewClient("http://127.0.0.1:0", "")
+	res, err := c.BatchDistancesContext(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 0 || len(res.Distances) != 0 {
+		t.Fatalf("empty batch returned %+v", res)
+	}
+}
+
+func TestBatchEndpointBadRequests(t *testing.T) {
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   string
+	}{
+		{"missing pairs", http.MethodGet, "/p4p/v1/distances/batch", ""},
+		{"malformed pair", http.MethodGet, "/p4p/v1/distances/batch?pairs=0_1", ""},
+		{"non-numeric pair", http.MethodGet, "/p4p/v1/distances/batch?pairs=a-b", ""},
+		{"unknown PID", http.MethodGet, "/p4p/v1/distances/batch?pairs=0-9999", ""},
+		{"empty POST pairs", http.MethodPost, "/p4p/v1/distances/batch", `{"pairs":[]}`},
+		{"bad JSON body", http.MethodPost, "/p4p/v1/distances/batch", `{"pairs":`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body *strings.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			req, err := http.NewRequest(tc.method, srv.URL+tc.url, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestBatchPairLimit(t *testing.T) {
+	srv, _ := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
+	pairs := make([]PIDPair, maxBatchPairs+1)
+	c := NewClient(srv.URL, "")
+	_, err := c.BatchDistances(pairs)
+	if err == nil || !strings.Contains(err.Error(), "batch limit") {
+		t.Fatalf("err = %v, want batch-limit rejection", err)
+	}
+}
+
+// TestBatchFromWireSentinel checks the decoder applies the same
+// hostile-payload rules as FromWire: negatives restore to +Inf, and
+// non-finite or absurd values are rejected.
+func TestBatchFromWireSentinel(t *testing.T) {
+	res, err := batchFromWire(&BatchResponseWire{Version: 3, Distances: []float64{1.5, Unreachable, -0.25}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distances[0] != 1.5 || !math.IsInf(res.Distances[1], 1) || !math.IsInf(res.Distances[2], 1) {
+		t.Fatalf("decoded %v", res.Distances)
+	}
+	bad := []*BatchResponseWire{
+		{Distances: []float64{1}},                  // wrong length for 2 pairs
+		{Distances: []float64{math.NaN(), 0}},      // NaN
+		{Distances: []float64{math.Inf(1), 0}},     // Inf
+		{Distances: []float64{MaxDistance * 2, 0}}, // absurd magnitude
+	}
+	for i, w := range bad {
+		if _, err := batchFromWire(w, 2); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestBatchMatchesCachedMatrix cross-checks the two serving paths stay
+// consistent after a version bump: the batch answer must track the new
+// matrix, not a stale PID index.
+func TestBatchMatchesCachedMatrix(t *testing.T) {
+	srv, tr := newTestPortal(t, itracker.Config{Name: "t", ASN: 1})
+	c := NewClient(srv.URL, "")
+	if _, err := c.BatchDistances([]PIDPair{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, tr.Engine().Graph().NumLinks())
+	loads[0] = 5e9
+	tr.ObserveAndUpdate(loads)
+	res, err := c.BatchDistances([]PIDPair{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tr.Distances("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != full.Version {
+		t.Fatalf("batch served version %d after bump to %d", res.Version, full.Version)
+	}
+	if res.Distances[0] != full.Distance(0, 1) {
+		t.Fatalf("batch %v != view %v after bump", res.Distances[0], full.Distance(0, 1))
+	}
+}
+
+func decodeBody(resp *http.Response, out interface{}) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}

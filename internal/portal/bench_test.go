@@ -3,6 +3,7 @@ package portal
 import (
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"p4p/internal/core"
@@ -13,8 +14,9 @@ import (
 
 // newBenchPortal builds a fully instrumented handler so the benchmarks
 // measure the serving path with telemetry attached — the configuration
-// the binaries actually run.
-func newBenchPortal(b *testing.B) (*Handler, *itracker.Server) {
+// the binaries actually run (minus the slog logger, whose per-line cost
+// would swamp the handler).
+func newBenchPortal(b testing.TB) (*Handler, *itracker.Server) {
 	b.Helper()
 	g := topology.Abilene()
 	r := topology.ComputeRouting(g)
@@ -24,24 +26,54 @@ func newBenchPortal(b *testing.B) (*Handler, *itracker.Server) {
 	tr.Metrics = itracker.NewMetrics(reg)
 	h := NewHandler(tr)
 	h.Telemetry.Metrics = telemetry.NewHTTPMetrics(reg, "p4p_http")
+	h.CacheMetrics = NewCacheMetrics(reg)
 	h.Telemetry.Preregister()
 	return h, tr
 }
 
-// BenchmarkPortalDistances measures a full p4p-distance request:
-// routing, middleware, JSON encoding of the cached view.
+// benchWriter is a reusable ResponseWriter: header map allocated once,
+// body discarded. Benchmarks measure the handler, not the recorder
+// httptest would rebuild per request (a real server reuses its
+// connection buffers the same way).
+type benchWriter struct {
+	hdr    http.Header
+	status int
+	bytes  int
+}
+
+func newBenchWriter() *benchWriter { return &benchWriter{hdr: make(http.Header, 8)} }
+
+func (w *benchWriter) Header() http.Header { return w.hdr }
+
+func (w *benchWriter) WriteHeader(status int) { w.status = status }
+
+func (w *benchWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.bytes += len(p)
+	return len(p), nil
+}
+
+func (w *benchWriter) reset() { w.status = 0; w.bytes = 0 }
+
+// BenchmarkPortalDistances measures a full p4p-distance request in
+// steady state: routing, middleware, and the encoded-response cache
+// serving the current view as a byte copy (≤5 allocs/op is the
+// acceptance bar; TestCachedDistancesAllocs pins it).
 func BenchmarkPortalDistances(b *testing.B) {
 	h, _ := newBenchPortal(b)
 	req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
-	// Prime the view cache so iterations measure the steady state.
+	// Prime the caches so iterations measure the steady state.
 	h.ServeHTTP(httptest.NewRecorder(), req)
+	w := newBenchWriter()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK {
-			b.Fatalf("status %d", rec.Code)
+		w.reset()
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
 		}
 	}
 }
@@ -59,20 +91,45 @@ func BenchmarkPortalDistances304(b *testing.B) {
 	}
 	req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
 	req.Header.Set("If-None-Match", etag)
+	w := newBenchWriter()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, req)
-		if rec.Code != http.StatusNotModified {
-			b.Fatalf("status %d", rec.Code)
+		w.reset()
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusNotModified {
+			b.Fatalf("status %d", w.status)
+		}
+	}
+}
+
+// BenchmarkPortalBatch measures the batch endpoint: 16 src/dst pairs
+// answered from the cached view without shipping the matrix.
+func BenchmarkPortalBatch(b *testing.B) {
+	h, _ := newBenchPortal(b)
+	prime := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+	h.ServeHTTP(httptest.NewRecorder(), prime)
+	pairs := make([]string, 16)
+	for i := range pairs {
+		pairs[i] = "0-" + string(rune('0'+i%10))
+	}
+	req := httptest.NewRequest(http.MethodGet,
+		"/p4p/v1/distances/batch?pairs="+strings.Join(pairs, ","), nil)
+	w := newBenchWriter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
 		}
 	}
 }
 
 // BenchmarkViewRecompute measures the price-update + view
 // materialization cycle: one super-gradient step and the p-distance
-// matrix rebuild it invalidates.
+// matrix rebuild + re-encode it invalidates.
 func BenchmarkViewRecompute(b *testing.B) {
 	h, tr := newBenchPortal(b)
 	loads := make([]float64, tr.Engine().Graph().NumLinks())
@@ -80,14 +137,15 @@ func BenchmarkViewRecompute(b *testing.B) {
 		loads[i] = 1e9 * float64(i%7)
 	}
 	req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+	w := newBenchWriter()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.ObserveAndUpdate(loads) // bumps the view version
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, req) // forces the recompute
-		if rec.Code != http.StatusOK {
-			b.Fatalf("status %d", rec.Code)
+		w.reset()
+		h.ServeHTTP(w, req) // forces the recompute + re-encode
+		if w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
 		}
 	}
 }

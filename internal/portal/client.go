@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -186,10 +187,11 @@ func retryable(status int, err error) bool {
 	return status >= 500 || status == http.StatusTooManyRequests
 }
 
-// doGET performs one GET with retries. It returns the final status,
+// do performs one request with retries. It returns the final status,
 // body, and response ETag; err is non-nil only when no attempt produced
-// an HTTP response.
-func (c *Client) doGET(ctx context.Context, path string, query url.Values, etag string) (status int, body []byte, respETag string, err error) {
+// an HTTP response. Every portal endpoint is read-only (the batch POST
+// carries a query, not a mutation), so re-issuing any method is safe.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, payload []byte, etag string) (status int, body []byte, respETag string, err error) {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -201,7 +203,7 @@ func (c *Client) doGET(ctx context.Context, path string, query url.Values, etag 
 	pol := c.Retry.withDefaults()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		status, body, respETag, lastErr = c.attempt(ctx, hc, u, path, etag, pol.PerAttempt)
+		status, body, respETag, lastErr = c.attempt(ctx, hc, method, u, path, payload, etag, pol.PerAttempt)
 		if lastErr == nil && !retryable(status, nil) {
 			return status, body, respETag, nil
 		}
@@ -228,13 +230,21 @@ func (c *Client) doGET(ctx context.Context, path string, query url.Values, etag 
 	}
 }
 
-// attempt issues one request under a per-attempt deadline.
-func (c *Client) attempt(ctx context.Context, hc *http.Client, u, path, etag string, perAttempt time.Duration) (int, []byte, string, error) {
+// attempt issues one request under a per-attempt deadline. A non-nil
+// payload is re-read from scratch on every attempt.
+func (c *Client) attempt(ctx context.Context, hc *http.Client, method, u, path string, payload []byte, etag string, perAttempt time.Duration) (int, []byte, string, error) {
 	actx, cancel := context.WithTimeout(ctx, perAttempt)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodGet, u, nil)
+	var reqBody io.Reader
+	if payload != nil {
+		reqBody = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, u, reqBody)
 	if err != nil {
 		return 0, nil, "", fmt.Errorf("build request: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.Token != "" {
 		req.Header.Set(tokenHeader, c.Token)
@@ -266,7 +276,7 @@ func httpErrFromBody(path string, status int, body []byte) error {
 
 // getJSON fetches path and decodes a 200 response into out.
 func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out interface{}) error {
-	status, body, _, err := c.doGET(ctx, path, query, "")
+	status, body, _, err := c.do(ctx, http.MethodGet, path, query, nil, "")
 	if err != nil {
 		return err
 	}
@@ -295,7 +305,7 @@ func (c *Client) fetchView(ctx context.Context, form string) (*core.View, error)
 	if cached != nil {
 		etag = cached.etag
 	}
-	status, body, respETag, err := c.doGET(ctx, path, q, etag)
+	status, body, respETag, err := c.do(ctx, http.MethodGet, path, q, nil, etag)
 	if err != nil {
 		return nil, err
 	}
@@ -315,14 +325,20 @@ func (c *Client) fetchView(ctx context.Context, form string) (*core.View, error)
 		if err != nil {
 			return nil, err
 		}
-		if respETag != "" {
-			c.mu.Lock()
-			if c.views == nil {
-				c.views = map[string]*cachedView{}
-			}
-			c.views[form] = &cachedView{view: v, etag: respETag}
-			c.mu.Unlock()
+		// Any 200 replaces the cache entry. A 200 without an ETag has
+		// withdrawn the server's validator: keeping the old entry would
+		// revalidate future requests against a dead ETag, and a spurious
+		// match would pair the old matrix with a new version. Drop it.
+		c.mu.Lock()
+		if c.views == nil {
+			c.views = map[string]*cachedView{}
 		}
+		if respETag != "" {
+			c.views[form] = &cachedView{view: v, etag: respETag}
+		} else {
+			delete(c.views, form)
+		}
+		c.mu.Unlock()
 		return v, nil
 	default:
 		return nil, httpErrFromBody(path, status, body)
@@ -351,6 +367,41 @@ func (c *Client) DistancesContext(ctx context.Context) (*core.View, error) {
 func (c *Client) Distances() (*core.View, error) {
 	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
 	return c.DistancesContext(context.Background())
+}
+
+// BatchDistancesContext queries /p4p/v1/distances/batch for the given
+// src/dst pairs (POST body). The batch endpoint serves from the same
+// cached view as the full matrix but ships only the requested entries,
+// so clients that poll many portals for a handful of pairs each stop
+// re-downloading square matrices. Retries follow the client's
+// RetryPolicy; the endpoint is read-only, so re-issuing is safe.
+func (c *Client) BatchDistancesContext(ctx context.Context, pairs []PIDPair) (*BatchResult, error) {
+	const path = "/p4p/v1/distances/batch"
+	if len(pairs) == 0 {
+		return &BatchResult{}, nil
+	}
+	payload, err := json.Marshal(BatchRequestWire{Pairs: pairs})
+	if err != nil {
+		return nil, fmt.Errorf("portal: encode batch request: %w", err)
+	}
+	status, body, _, err := c.do(ctx, http.MethodPost, path, nil, payload, "")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, httpErrFromBody(path, status, body)
+	}
+	var w BatchResponseWire
+	if err := json.Unmarshal(body, &w); err != nil {
+		return nil, fmt.Errorf("portal: decode %s: %w", path, err)
+	}
+	return batchFromWire(&w, len(pairs))
+}
+
+// BatchDistances queries the batch endpoint for src/dst pairs.
+func (c *Client) BatchDistances(pairs []PIDPair) (*BatchResult, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
+	return c.BatchDistancesContext(context.Background(), pairs)
 }
 
 // RankedDistancesContext fetches the coarsened rank view.

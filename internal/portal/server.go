@@ -4,52 +4,158 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"p4p/internal/core"
 	"p4p/internal/itracker"
 	"p4p/internal/telemetry"
+	"p4p/internal/topology"
 )
 
 // tokenHeader carries the caller's trust token.
 const tokenHeader = "X-P4P-Token"
 
+// tokenHeaderCanon is tokenHeader in canonical MIME form. Header.Get
+// re-canonicalizes non-canonical keys on every call, which allocates;
+// incoming headers are stored canonically, so reading with this key is
+// equivalent and allocation-free.
+const tokenHeaderCanon = "X-P4p-Token"
+
+// maxBatchPairs bounds one batch request; anything larger should fetch
+// the full matrix instead.
+const maxBatchPairs = 65536
+
+// maxBatchBody bounds the POST body of a batch request.
+const maxBatchBody = 8 << 20
+
+// jsonCTVals is the Content-Type header value shared by every cached
+// response entry (header maps hold []string; sharing one immutable
+// slice keeps the steady-state path allocation-free).
+var jsonCTVals = []string{"application/json"}
+
 // Handler serves one iTracker's interfaces over HTTP:
 //
-//	GET /p4p/v1/policy
-//	GET /p4p/v1/distances[?form=ranks]
-//	GET /p4p/v1/capabilities[?kind=...]
-//	GET /p4p/v1/pid?ip=a.b.c.d
+//	GET  /p4p/v1/policy
+//	GET  /p4p/v1/distances[?form=ranks]
+//	GET  /p4p/v1/distances/batch?pairs=src-dst,...
+//	POST /p4p/v1/distances/batch
+//	GET  /p4p/v1/capabilities[?kind=...]
+//	GET  /p4p/v1/pid?ip=a.b.c.d
 //
 // All responses are JSON; errors use {"error": "..."} envelopes. The
 // distances endpoint is version-cacheable: responses carry an ETag
-// derived from the engine version, and requests presenting a current
-// version via If-None-Match get 304 Not Modified with no body, so
-// refreshing appTrackers pay nothing when the view has not changed.
+// derived from the engine version and a per-process boot nonce, and
+// requests presenting a current version via If-None-Match get 304 Not
+// Modified with no body, so refreshing appTrackers pay nothing when the
+// view has not changed.
+//
+// The 200 path is cached too: the fully-encoded JSON body and its
+// ETag/Content-Length header values are kept per (engine version, form)
+// — materialized under the iTracker's singleflight, invalidated by
+// version bump — so a steady-state response is a byte copy that never
+// touches json.Marshal (see DESIGN.md §10).
 //
 // Every route runs through Telemetry, which mints a request ID (echoed
-// in X-Request-ID and carried on the request context), records
-// per-route request counts, status classes, and latency histograms,
-// counts 304 ETag hits, and emits one structured log line per request.
-// Set Telemetry.Metrics and Telemetry.Logger after NewHandler, before
-// serving.
+// in X-Request-ID and carried on the request context when a Logger is
+// attached), records per-route request counts, status classes, and
+// latency histograms, counts 304 ETag hits, and emits one structured
+// log line per request. Set Telemetry.Metrics and Telemetry.Logger
+// after NewHandler, before serving.
 type Handler struct {
 	Tracker *itracker.Server
 	// Telemetry instruments and logs every route; its zero value is
 	// inert. Set its fields, do not replace the struct (route
 	// registrations live inside it).
 	Telemetry telemetry.Middleware
-	mux       *http.ServeMux
+	// CacheMetrics, when non-nil, counts encoded-response-cache hits
+	// and misses on the distances path (see NewCacheMetrics).
+	CacheMetrics *CacheMetrics
+	mux          *http.ServeMux
+
+	// bootNonce distinguishes this process's ETags from a restarted
+	// portal at the same engine version: version counters restart at
+	// zero, so without the nonce a client's stale If-None-Match could
+	// spuriously revalidate against a fresh process serving different
+	// data.
+	bootNonce string
+
+	// cacheRaw/cacheRanks hold the current fully-rendered response per
+	// form; batchIdx holds the PID→row index for the batch endpoint.
+	cacheRaw   atomic.Pointer[respEntry]
+	cacheRanks atomic.Pointer[respEntry]
+	batchIdx   atomic.Pointer[pidIndex]
+}
+
+// respEntry is one fully-rendered distances response: the encoded body
+// plus precomputed header value slices, so serving it writes no new
+// strings. Entries are immutable once published.
+type respEntry struct {
+	version  int
+	body     []byte
+	etag     string
+	etagVals []string // {etag}
+	clenVals []string // {strconv.Itoa(len(body))}
+}
+
+// pidIndex maps view PIDs to matrix rows for one materialized view
+// (keyed by pointer identity, not version: the PID set is re-derived
+// per recompute).
+type pidIndex struct {
+	view *core.View
+	idx  map[topology.PID]int
+}
+
+// CacheMetrics counts how the encoded-response cache behaves. All
+// recording methods are nil-safe.
+type CacheMetrics struct {
+	// Hits counts distances responses served as a cached byte copy.
+	Hits *telemetry.Counter
+	// Misses counts distances requests that re-encoded the view (first
+	// request of a version/form, or post-invalidation).
+	Misses *telemetry.Counter
+}
+
+// NewCacheMetrics registers the encoded-response-cache metric families.
+func NewCacheMetrics(r *telemetry.Registry) *CacheMetrics {
+	return &CacheMetrics{
+		Hits: r.Counter("p4p_portal_encoded_cache_hits_total",
+			"Distances responses served from the encoded-response cache."),
+		Misses: r.Counter("p4p_portal_encoded_cache_misses_total",
+			"Distances requests that re-encoded the view (version bump or cold cache)."),
+	}
+}
+
+func (m *CacheMetrics) hit() {
+	if m != nil {
+		m.Hits.Inc()
+	}
+}
+
+func (m *CacheMetrics) miss() {
+	if m != nil {
+		m.Misses.Inc()
+	}
 }
 
 // NewHandler builds the HTTP handler for an iTracker.
 func NewHandler(tr *itracker.Server) *Handler {
-	h := &Handler{Tracker: tr, mux: http.NewServeMux()}
+	h := &Handler{
+		Tracker:   tr,
+		mux:       http.NewServeMux(),
+		bootNonce: fmt.Sprintf("%08x", rand.Uint32()),
+	}
 	h.route("GET /p4p/v1/policy", "policy", h.handlePolicy)
 	h.route("GET /p4p/v1/distances", "distances", h.handleDistances)
+	h.route("GET /p4p/v1/distances/batch", "distances_batch", h.handleBatch)
+	h.route("POST /p4p/v1/distances/batch", "distances_batch", h.handleBatch)
 	h.route("GET /p4p/v1/capabilities", "capabilities", h.handleCapabilities)
 	h.route("GET /p4p/v1/pid", "pid", h.handlePID)
 	return h
@@ -66,7 +172,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // writeJSON encodes v to a buffer before touching the ResponseWriter,
 // so an encoding failure (e.g. a NaN sneaking into a matrix) yields a
-// clean 500 error envelope instead of a truncated HTTP 200.
+// clean 500 error envelope instead of a truncated HTTP 200. Buffering
+// also supplies Content-Length, keeping responses out of chunked
+// transfer encoding.
 func (h *Handler) writeJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -78,9 +186,11 @@ func (h *Handler) writeJSON(w http.ResponseWriter, r *http.Request, status int, 
 		status = http.StatusInternalServerError
 		body, _ = json.Marshal(errorWire{Error: "response encoding failed"})
 	}
+	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	w.Write(body)
 }
 
 func (h *Handler) writeErr(w http.ResponseWriter, r *http.Request, err error) {
@@ -92,7 +202,7 @@ func (h *Handler) writeErr(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
-	pol, err := h.Tracker.PolicyFor(r.Header.Get(tokenHeader))
+	pol, err := h.Tracker.PolicyFor(r.Header.Get(tokenHeaderCanon))
 	if err != nil {
 		h.writeErr(w, r, err)
 		return
@@ -100,16 +210,18 @@ func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	h.writeJSON(w, r, http.StatusOK, pol)
 }
 
-// viewETag derives the distances ETag from the engine version and the
-// requested form (raw and ranked views of one version differ).
-func viewETag(version int, form string) string {
-	return fmt.Sprintf("%q", fmt.Sprintf("v%d-%s", version, form))
-}
-
 // etagMatches reports whether an If-None-Match header value matches the
-// given ETag, honoring comma-separated lists and the "*" wildcard.
+// given ETag, honoring comma-separated lists, W/ weak prefixes, and the
+// "*" wildcard. It scans in place — no splitting — because it runs on
+// the revalidation fast path.
 func etagMatches(header, etag string) bool {
-	for _, part := range strings.Split(header, ",") {
+	for len(header) > 0 {
+		part := header
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			part, header = header[:i], header[i+1:]
+		} else {
+			header = ""
+		}
 		part = strings.TrimSpace(part)
 		part = strings.TrimPrefix(part, "W/")
 		if part == "*" || part == etag {
@@ -119,43 +231,212 @@ func etagMatches(header, etag string) bool {
 	return false
 }
 
+// cacheFor returns the response-cache slot for a form. Forms are
+// validated before this is reached.
+func (h *Handler) cacheFor(form string) *atomic.Pointer[respEntry] {
+	if form == "ranks" {
+		return &h.cacheRanks
+	}
+	return &h.cacheRaw
+}
+
+// newRespEntry renders the headers for an encoded body once, so serving
+// the entry later formats nothing.
+func (h *Handler) newRespEntry(version int, form string, body []byte) *respEntry {
+	etag := fmt.Sprintf("%q", fmt.Sprintf("%s-v%d-%s", h.bootNonce, version, form))
+	return &respEntry{
+		version:  version,
+		body:     body,
+		etag:     etag,
+		etagVals: []string{etag},
+		clenVals: []string{strconv.Itoa(len(body))},
+	}
+}
+
+// encodeRawView and encodeRankedView are the EncodeFuncs the portal
+// installs into the iTracker's encoded-view cache. Bodies include the
+// trailing newline writeJSON appends, so cached and freshly-encoded
+// responses are byte-identical.
+func encodeRawView(v *core.View) ([]byte, error) {
+	b, err := json.Marshal(ToWire(v))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func encodeRankedView(v *core.View) ([]byte, error) {
+	b, err := json.Marshal(ToWire(core.RankView(v)))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func encoderFor(form string) itracker.EncodeFunc {
+	if form == "ranks" {
+		return encodeRankedView
+	}
+	return encodeRawView
+}
+
 func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
-	token := r.Header.Get(tokenHeader)
-	form := r.URL.Query().Get("form")
-	if form == "" {
-		form = "raw"
-	}
-	if form != "raw" && form != "ranks" {
-		h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: "unknown form; use raw or ranks"})
-		return
-	}
-	// Conditional GET: a client whose cached version is still current
-	// skips view materialization and serialization entirely.
-	if inm := r.Header.Get("If-None-Match"); inm != "" {
-		ver, err := h.Tracker.ViewVersion(token)
-		if err == nil && etagMatches(inm, viewETag(ver, form)) {
-			w.Header().Set("ETag", viewETag(ver, form))
-			w.WriteHeader(http.StatusNotModified)
+	token := r.Header.Get(tokenHeaderCanon)
+	form := "raw"
+	if r.URL.RawQuery != "" { // parsing the query allocates; skip it when absent
+		if f := r.URL.Query().Get("form"); f != "" {
+			form = f
+		}
+		if form != "raw" && form != "ranks" {
+			h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: "unknown form; use raw or ranks"})
 			return
 		}
 	}
-	var v *core.View
-	var err error
-	if form == "raw" {
-		v, err = h.Tracker.Distances(token)
-	} else {
-		v, err = h.Tracker.RankedDistances(token)
-	}
+	ver, err := h.Tracker.ViewVersion(token)
 	if err != nil {
 		h.writeErr(w, r, err)
 		return
 	}
-	w.Header().Set("ETag", viewETag(v.Version, form))
-	h.writeJSON(w, r, http.StatusOK, ToWire(v))
+	cache := h.cacheFor(form)
+	ent := cache.Load()
+	if ent == nil || ent.version != ver {
+		// Cold cache or version bump: re-encode under the iTracker's
+		// singleflight and publish the rendered entry. A price update
+		// racing the encode can leave the entry one version behind; the
+		// next request simply misses again.
+		h.CacheMetrics.miss()
+		body, version, err := h.Tracker.EncodedView(token, form, encoderFor(form))
+		if err != nil {
+			h.writeErr(w, r, err)
+			return
+		}
+		ent = h.newRespEntry(version, form, body)
+		cache.Store(ent)
+	} else {
+		h.CacheMetrics.hit()
+	}
+	// Direct map assignment with pre-canonicalized keys ("Etag" is the
+	// canonical MIME form) and shared value slices: zero allocations.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, ent.etag) {
+		w.Header()["Etag"] = ent.etagVals
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	hdr := w.Header()
+	hdr["Content-Type"] = jsonCTVals
+	hdr["Etag"] = ent.etagVals
+	hdr["Content-Length"] = ent.clenVals
+	w.WriteHeader(http.StatusOK)
+	w.Write(ent.body)
+}
+
+// parsePairsParam parses the GET form of a batch request:
+// pairs=src-dst,src-dst with decimal PIDs.
+func parsePairsParam(s string) ([]PIDPair, error) {
+	if s == "" {
+		return nil, errors.New("missing pairs parameter; use pairs=src-dst,src-dst")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]PIDPair, 0, len(parts))
+	for _, p := range parts {
+		dash := strings.IndexByte(p, '-')
+		if dash < 0 {
+			return nil, fmt.Errorf("malformed pair %q; want src-dst", p)
+		}
+		src, err := strconv.Atoi(p[:dash])
+		if err != nil {
+			return nil, fmt.Errorf("malformed pair %q: %v", p, err)
+		}
+		dst, err := strconv.Atoi(p[dash+1:])
+		if err != nil {
+			return nil, fmt.Errorf("malformed pair %q: %v", p, err)
+		}
+		out = append(out, PIDPair{Src: topology.PID(src), Dst: topology.PID(dst)})
+	}
+	return out, nil
+}
+
+// pidIndexFor returns the PID→row map for a view, cached by view
+// identity so batch requests do one map lookup per PID instead of a
+// linear scan of View.Index.
+func (h *Handler) pidIndexFor(v *core.View) map[topology.PID]int {
+	if cached := h.batchIdx.Load(); cached != nil && cached.view == v {
+		return cached.idx
+	}
+	idx := make(map[topology.PID]int, len(v.PIDs))
+	for i, p := range v.PIDs {
+		idx[p] = i
+	}
+	h.batchIdx.Store(&pidIndex{view: v, idx: idx})
+	return idx
+}
+
+// handleBatch serves many src/dst distance queries from the same cached
+// view as the full-matrix endpoint, without shipping the whole matrix:
+// appTrackers that poll N portals for a handful of pairs each (the
+// federation workload) stop re-downloading square matrices.
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	token := r.Header.Get(tokenHeaderCanon)
+	var pairs []PIDPair
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody))
+		if err != nil {
+			h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: "read request body: " + err.Error()})
+			return
+		}
+		var req BatchRequestWire
+		if err := json.Unmarshal(body, &req); err != nil {
+			h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: "decode request body: " + err.Error()})
+			return
+		}
+		pairs = req.Pairs
+	} else {
+		var err error
+		pairs, err = parsePairsParam(r.URL.Query().Get("pairs"))
+		if err != nil {
+			h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: err.Error()})
+			return
+		}
+	}
+	if len(pairs) == 0 {
+		h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: "empty pairs list"})
+		return
+	}
+	if len(pairs) > maxBatchPairs {
+		h.writeJSON(w, r, http.StatusBadRequest,
+			errorWire{Error: fmt.Sprintf("%d pairs exceeds the %d-pair batch limit", len(pairs), maxBatchPairs)})
+		return
+	}
+	v, err := h.Tracker.Distances(token)
+	if err != nil {
+		h.writeErr(w, r, err)
+		return
+	}
+	idx := h.pidIndexFor(v)
+	out := BatchResponseWire{Version: v.Version, Distances: make([]float64, len(pairs))}
+	for k, pr := range pairs {
+		a, okA := idx[pr.Src]
+		b, okB := idx[pr.Dst]
+		if !okA || !okB {
+			pid := pr.Src
+			if okA {
+				pid = pr.Dst
+			}
+			h.writeJSON(w, r, http.StatusBadRequest,
+				errorWire{Error: fmt.Sprintf("PID %d not in the external view", pid)})
+			return
+		}
+		if d := v.D[a][b]; math.IsInf(d, 0) {
+			out.Distances[k] = Unreachable
+		} else {
+			out.Distances[k] = d
+		}
+	}
+	h.writeJSON(w, r, http.StatusOK, out)
 }
 
 func (h *Handler) handleCapabilities(w http.ResponseWriter, r *http.Request) {
-	caps, err := h.Tracker.Capabilities(r.Header.Get(tokenHeader), r.URL.Query().Get("kind"))
+	caps, err := h.Tracker.Capabilities(r.Header.Get(tokenHeaderCanon), r.URL.Query().Get("kind"))
 	if err != nil {
 		h.writeErr(w, r, err)
 		return

@@ -92,6 +92,56 @@ func FromWire(w *ViewWire) (*core.View, error) {
 	return v, nil
 }
 
+// PIDPair is one src→dst distance query in a batch request.
+type PIDPair struct {
+	Src topology.PID `json:"src"`
+	Dst topology.PID `json:"dst"`
+}
+
+// BatchRequestWire is the JSON body of POST /p4p/v1/distances/batch.
+// The GET form carries the same pairs as ?pairs=src-dst,src-dst.
+type BatchRequestWire struct {
+	Pairs []PIDPair `json:"pairs"`
+}
+
+// BatchResponseWire is the JSON response of the batch endpoint:
+// distances aligned index-for-index with the requested pairs, encoded
+// with the same Unreachable sentinel as the full-matrix endpoint.
+type BatchResponseWire struct {
+	Version   int       `json:"version"`
+	Distances []float64 `json:"distances"`
+}
+
+// BatchResult is a decoded batch response: sentinels restored to +Inf
+// and every entry range-validated like FromWire.
+type BatchResult struct {
+	Version   int
+	Distances []float64
+}
+
+// batchFromWire validates a batch response against the request size and
+// the same hostile-payload rules as FromWire: finite, bounded by
+// MaxDistance, any negative value decoding as unreachable.
+func batchFromWire(w *BatchResponseWire, pairs int) (*BatchResult, error) {
+	if len(w.Distances) != pairs {
+		return nil, fmt.Errorf("portal: batch returned %d distances for %d pairs", len(w.Distances), pairs)
+	}
+	out := &BatchResult{Version: w.Version, Distances: make([]float64, len(w.Distances))}
+	for i, d := range w.Distances {
+		switch {
+		case math.IsNaN(d) || math.IsInf(d, 0):
+			return nil, fmt.Errorf("portal: non-finite batch distance at %d", i)
+		case d < 0:
+			out.Distances[i] = math.Inf(1)
+		case d > MaxDistance:
+			return nil, fmt.Errorf("portal: batch distance %g at %d exceeds MaxDistance", d, i)
+		default:
+			out.Distances[i] = d
+		}
+	}
+	return out, nil
+}
+
 // PIDLookupWire is the JSON response of the PID lookup endpoint.
 type PIDLookupWire struct {
 	PID topology.PID `json:"pid"`

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,9 +85,20 @@ var (
 )
 
 // NewRequestID returns a process-unique request ID: a per-process
-// random prefix plus a sequence number.
+// random prefix plus a sequence number. It is built with a single
+// string allocation — it runs on every request.
 func NewRequestID() string {
-	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+	var b [32]byte
+	buf := append(b[:0], reqPrefix...)
+	buf = append(buf, '-')
+	seq := reqSeq.Add(1)
+	if seq < 100000 { // keep the historical zero-padded %06d shape
+		for pad := uint64(100000); pad > seq && pad > 1; pad /= 10 {
+			buf = append(buf, '0')
+		}
+	}
+	buf = strconv.AppendUint(buf, seq, 10)
+	return string(buf)
 }
 
 // ContextWithRequestID attaches a request ID to a context.
@@ -164,8 +176,14 @@ func (mw *Middleware) Route(route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := NewRequestID()
-		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		w.Header()["X-Request-Id"] = []string{id} // canonical key, direct write
+		if mw.Logger != nil {
+			// The context copy exists so handlers and the log line can
+			// recover the ID; without a logger nothing reads it, and the
+			// two allocations (value box + request clone) are the
+			// difference between a zero-alloc and a chunky serving path.
+			r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		}
 		sw := &StatusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		d := time.Since(start)

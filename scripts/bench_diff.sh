@@ -1,8 +1,13 @@
 #!/bin/sh
 # Compare two benchmark JSON files written by scripts/bench_json.sh,
 # matching benchmarks by name and printing the old/new values with
-# percentage deltas. Stdlib tooling only (awk); negative deltas are
-# improvements for every column.
+# percentage deltas. Stdlib tooling only (awk).
+#
+# Handles both formats: the micro-benchmark files (BENCH_portal.json,
+# BENCH_sim.json; one object per line, ns/op + B/op + allocs/op —
+# negative deltas are improvements) and the load-generator file
+# (BENCH_load.json; indented objects, qps + p99_us — positive QPS
+# deltas are improvements).
 #
 # Usage: bench_diff.sh OLD.json NEW.json
 #   e.g. git show HEAD~1:BENCH_sim.json >/tmp/old.json &&
@@ -26,27 +31,40 @@ function pct(old, new) {
     if (old + 0 == 0) return "n/a"
     return sprintf("%+.1f%%", 100 * (new - old) / old)
 }
+function remember(name) {
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
 FNR == 1 { fileno++ }
 /"name":/ {
     name = field($0, "name")
     if (name == "") next
-    if (fileno == 1) {
-        if (!(name in ons)) order[n++] = name
-        ons[name] = field($0, "ns_per_op")
-        ob[name]  = field($0, "bytes_per_op")
-        oa[name]  = field($0, "allocs_per_op")
-    } else {
-        if (!(name in ons) && !(name in nns)) order[n++] = name
-        nns[name] = field($0, "ns_per_op")
-        nb[name]  = field($0, "bytes_per_op")
-        na[name]  = field($0, "allocs_per_op")
+    remember(name)
+    cur = name
+    # Micro-benchmark rows carry every field on the name line.
+    if (field($0, "ns_per_op") != "") {
+        if (fileno == 1) {
+            ons[name] = field($0, "ns_per_op")
+            ob[name]  = field($0, "bytes_per_op")
+            oa[name]  = field($0, "allocs_per_op")
+        } else {
+            nns[name] = field($0, "ns_per_op")
+            nb[name]  = field($0, "bytes_per_op")
+            na[name]  = field($0, "allocs_per_op")
+        }
     }
 }
+/"qps":/    { if (cur != "") { if (fileno == 1) oq[cur] = field($0, "qps");    else nq[cur] = field($0, "qps") } }
+/"p99_us":/ { if (cur != "") { if (fileno == 1) op[cur] = field($0, "p99_us"); else np[cur] = field($0, "p99_us") } }
 END {
-    printf "%-40s %15s %15s %9s %9s %9s\n", \
-        "benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs"
+    header = 0
     for (i = 0; i < n; i++) {
         name = order[i]
+        if (!(name in ons) && !(name in nns)) continue
+        if (!header) {
+            printf "%-40s %15s %15s %9s %9s %9s\n", \
+                "benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs"
+            header = 1
+        }
         if (!(name in ons)) {
             printf "%-40s %15s %15s   (only in new)\n", name, "-", nns[name]
             continue
@@ -57,5 +75,25 @@ END {
         }
         printf "%-40s %15s %15s %9s %9s %9s\n", name, ons[name], nns[name], \
             pct(ons[name], nns[name]), pct(ob[name], nb[name]), pct(oa[name], na[name])
+    }
+    header = 0
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in oq) && !(name in nq)) continue
+        if (!header) {
+            printf "%-40s %12s %12s %9s %12s %12s %9s\n", \
+                "scenario", "old qps", "new qps", "qps", "old p99us", "new p99us", "p99"
+            header = 1
+        }
+        if (!(name in oq)) {
+            printf "%-40s %12s %12s   (only in new)\n", name, "-", nq[name]
+            continue
+        }
+        if (!(name in nq)) {
+            printf "%-40s %12s %12s   (only in old)\n", name, oq[name], "-"
+            continue
+        }
+        printf "%-40s %12s %12s %9s %12s %12s %9s\n", name, oq[name], nq[name], \
+            pct(oq[name], nq[name]), op[name], np[name], pct(op[name], np[name])
     }
 }' "$1" "$2"
