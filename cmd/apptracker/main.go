@@ -12,7 +12,12 @@
 //
 // Observability: GET /metrics serves the Prometheus exposition
 // (request counts/latency per route, portal-client retries and
-// backoff, ETag-cache hits, stale/nil serves); -pprof mounts
+// backoff, ETag-cache hits, stale/nil serves, Go runtime health);
+// GET /healthz and GET /readyz serve liveness and readiness (ready
+// while the portal view is present and fresh enough); -traces enables
+// W3C trace-context request tracing — spans propagate through the
+// portal client to the iTracker so one trace covers both processes —
+// and serves kept traces on GET /debug/traces; -pprof mounts
 // net/http/pprof under /debug/pprof/. Requests are logged with request
 // IDs via log/slog.
 package main
@@ -32,8 +37,10 @@ import (
 	"time"
 
 	"p4p/internal/apptracker"
+	"p4p/internal/health"
 	"p4p/internal/portal"
 	"p4p/internal/telemetry"
+	"p4p/internal/trace"
 )
 
 type selectRequest struct {
@@ -79,6 +86,12 @@ func main() {
 		retries  = flag.Int("portal-retries", 3, "portal attempts per refresh")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logJSON  = flag.Bool("log-json", false, "emit JSON logs instead of text")
+
+		tracesOn    = flag.Bool("traces", false, "enable request tracing and serve GET /debug/traces")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "tail sampling: always keep traces slower than this")
+		traceSample = flag.Float64("trace-sample", 1, "head sampling rate for new traces in [0,1]")
+		traceKeep   = flag.Float64("trace-keep", 0.1, "tail keep rate for fast clean traces in [0,1]")
+		traceCap    = flag.Int("trace-cap", 256, "kept-trace ring capacity")
 	)
 	flag.Parse()
 
@@ -98,9 +111,20 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	var rngMu sync.Mutex
 
+	var collector *trace.Collector
+	var tracer *trace.Tracer
+	if *tracesOn {
+		collector = trace.NewCollector(*traceCap, *traceSlow, *traceKeep)
+		tracer = &trace.Tracer{Collector: collector, SampleRate: *traceSample}
+		// Background refreshes are off any request path, so they start
+		// their own root spans via the views tracer.
+		views.Tracer = tracer
+	}
+
 	mw := &telemetry.Middleware{
 		Metrics: telemetry.NewHTTPMetrics(reg, "p4p_http"),
 		Logger:  logger,
+		Tracer:  tracer,
 	}
 
 	mux := http.NewServeMux()
@@ -124,11 +148,32 @@ func main() {
 	mux.Handle("GET /stats", mw.RouteFunc("stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(logger, w, r, http.StatusOK, views.Stats())
 	}))
-	mux.Handle("GET /metrics", reg.Handler())
+	rm := telemetry.NewRuntimeMetrics(reg)
+	mux.Handle("GET /metrics", rm.Handler(reg.Handler()))
+	mux.Handle("GET /healthz", health.Handler())
+	// Ready while a portal view exists and was fetched within 3x the TTL
+	// — the same window in which stale-fallback serves are acceptable.
+	readyAge := 3 * *ttl
+	mux.Handle("GET /readyz", health.ReadyHandler(health.Check{
+		Name: "portal_view",
+		Probe: func() (bool, string) {
+			if views.Ready(readyAge) {
+				return true, "portal view fresh"
+			}
+			return false, "no fresh portal view (portal unreachable or not yet fetched)"
+		},
+	}))
+	if collector != nil {
+		mux.Handle("GET /debug/traces", collector.Handler())
+	}
 	if *pprofOn {
 		telemetry.RegisterPprof(mux)
 	}
 	mw.Preregister()
+
+	// Warm the view in the background so /readyz flips as soon as the
+	// portal answers, without blocking startup when it is down.
+	go views.ViewFor(0)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -146,7 +191,8 @@ func main() {
 	logger.Info("appTracker listening",
 		slog.String("addr", *listen),
 		slog.String("portal", *itrURL),
-		slog.Bool("pprof", *pprofOn))
+		slog.Bool("pprof", *pprofOn),
+		slog.Bool("traces", *tracesOn))
 
 	select {
 	case err := <-errCh:

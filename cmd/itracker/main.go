@@ -14,8 +14,12 @@
 //
 // Observability: GET /metrics serves the Prometheus exposition (HTTP
 // request counts/latency per route, ETag 304 hits, view-recompute
-// durations, view version, super-gradient norm and max link
-// utilization); -pprof additionally mounts net/http/pprof under
+// durations, view version, super-gradient norm, max link utilization,
+// and Go runtime health sampled per scrape); GET /healthz and
+// GET /readyz serve liveness and readiness (ready once a distance view
+// is materialized); -traces enables W3C trace-context request tracing
+// with tail sampling and serves kept traces as JSON on
+// GET /debug/traces; -pprof additionally mounts net/http/pprof under
 // /debug/pprof/. Every request is logged with a request ID via
 // log/slog.
 package main
@@ -34,10 +38,12 @@ import (
 	"time"
 
 	"p4p/internal/core"
+	"p4p/internal/health"
 	"p4p/internal/itracker"
 	"p4p/internal/portal"
 	"p4p/internal/telemetry"
 	"p4p/internal/topology"
+	"p4p/internal/trace"
 )
 
 func main() {
@@ -51,6 +57,12 @@ func main() {
 		update    = flag.Duration("update", 0, "if set, run an idle price update every interval")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		logJSON   = flag.Bool("log-json", false, "emit JSON logs instead of text")
+
+		tracesOn    = flag.Bool("traces", false, "enable request tracing and serve GET /debug/traces")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "tail sampling: always keep traces slower than this")
+		traceSample = flag.Float64("trace-sample", 1, "head sampling rate for new traces in [0,1]")
+		traceKeep   = flag.Float64("trace-keep", 0.1, "tail keep rate for fast clean traces in [0,1]")
+		traceCap    = flag.Int("trace-cap", 256, "kept-trace ring capacity")
 	)
 	flag.Parse()
 
@@ -98,9 +110,40 @@ func main() {
 	h.Telemetry.Logger = logger
 	h.Telemetry.Preregister()
 
+	var collector *trace.Collector
+	if *tracesOn {
+		collector = trace.NewCollector(*traceCap, *traceSlow, *traceKeep)
+		h.Telemetry.Tracer = &trace.Tracer{Collector: collector, SampleRate: *traceSample}
+	}
+
+	// Prime the distance view so /readyz flips to ready as soon as the
+	// engine has materialized once, not on the first client request.
+	primeToken := ""
+	if len(trusted) > 0 {
+		primeToken = trusted[0]
+	}
+	if _, err := tr.Distances(primeToken); err != nil {
+		logger.Warn("view prime failed; /readyz stays unavailable until first successful recompute",
+			slog.String("error", err.Error()))
+	}
+
+	rm := telemetry.NewRuntimeMetrics(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/p4p/", h)
-	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /metrics", rm.Handler(reg.Handler()))
+	mux.Handle("GET /healthz", health.Handler())
+	mux.Handle("GET /readyz", health.ReadyHandler(health.Check{
+		Name: "view",
+		Probe: func() (bool, string) {
+			if tr.Ready() {
+				return true, "distance view materialized"
+			}
+			return false, "no materialized distance view yet"
+		},
+	}))
+	if collector != nil {
+		mux.Handle("GET /debug/traces", collector.Handler())
+	}
 	if *pprofOn {
 		telemetry.RegisterPprof(mux)
 	}
@@ -139,7 +182,8 @@ func main() {
 		slog.Int("pids", g.NumNodes()),
 		slog.Int("links", g.NumLinks()),
 		slog.String("addr", *listen),
-		slog.Bool("pprof", *pprofOn))
+		slog.Bool("pprof", *pprofOn),
+		slog.Bool("traces", *tracesOn))
 
 	select {
 	case err := <-errCh:

@@ -8,7 +8,9 @@
 //
 // -parallel bounds the worker pool that fans each experiment's
 // independent simulation cells (0 = GOMAXPROCS, 1 = serial); output is
-// byte-identical at any setting.
+// byte-identical at any setting. -poolstats prints, per experiment, how
+// the pool spent its time (cells, wall vs busy seconds, utilization,
+// slowest cell) to stderr, so report bytes stay untouched.
 package main
 
 import (
@@ -56,6 +58,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
+		pool     = flag.Bool("poolstats", false, "print per-experiment worker-pool timings to stderr")
 	)
 	flag.Parse()
 
@@ -71,17 +74,27 @@ func main() {
 	for _, id := range strings.Split(*run, ",") {
 		want[strings.TrimSpace(strings.ToUpper(id))] = true
 	}
-	opt := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
 	ran := 0
 	for _, e := range all {
 		if !runAll && !want[strings.ToUpper(e.id)] {
 			continue
+		}
+		opt := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
+		if *pool {
+			opt.PoolStats = &experiments.PoolStats{}
 		}
 		start := time.Now()
 		rep := e.fn(opt)
 		if _, err := rep.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *pool {
+			fmt.Fprintf(os.Stderr, "%-5s ", e.id)
+			if _, err := opt.PoolStats.WriteTo(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 		ran++

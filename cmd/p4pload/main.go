@@ -43,6 +43,7 @@ import (
 	"p4p/internal/itracker"
 	"p4p/internal/portal"
 	"p4p/internal/topology"
+	"p4p/internal/trace"
 )
 
 type result struct {
@@ -77,6 +78,7 @@ func main() {
 		update   = flag.Duration("update", 0, "if set, run a price update every interval during the run")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 		token    = flag.String("token", "", "trust token presented on requests")
+		traces   = flag.Bool("traces", false, "trace the in-process portal and validate GET /debug/traces after the run")
 	)
 	flag.Parse()
 
@@ -95,7 +97,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		srv := &http.Server{Handler: portal.NewHandler(tr), ReadHeaderTimeout: 5 * time.Second}
+		h := portal.NewHandler(tr)
+		var handler http.Handler = h
+		if *traces {
+			// Modest head sampling keeps the tracing overhead honest
+			// under load; SlowThreshold 0 tail-keeps every sampled trace
+			// so the post-run /debug/traces check always has material.
+			col := trace.NewCollector(256, 0, 1)
+			h.Telemetry.Tracer = &trace.Tracer{Collector: col, SampleRate: 0.05}
+			m := http.NewServeMux()
+			m.Handle("/p4p/", h)
+			m.Handle("GET /debug/traces", col.Handler())
+			handler = m
+		}
+		srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 		go srv.Serve(ln)
 		defer srv.Close()
 		target = "http://" + ln.Addr().String()
@@ -203,10 +218,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p4pload: %v\n", err)
 		os.Exit(1)
 	}
+	if *traces {
+		if err := checkTraces(ctx, hc, target); err != nil {
+			fmt.Fprintf(os.Stderr, "p4pload: /debug/traces check: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "p4pload: scenario recorded request errors")
 		os.Exit(1)
 	}
+}
+
+// checkTraces asserts the debug endpoint still serves a valid,
+// non-empty trace snapshot after the load run — the whole point of a
+// bounded ring collector is that it keeps working under pressure.
+func checkTraces(ctx context.Context, hc *http.Client, target string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/debug/traces", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var snap trace.WireSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("invalid JSON: %v", err)
+	}
+	if len(snap.Traces) == 0 {
+		return errors.New("no traces kept after load run")
+	}
+	for _, t := range snap.Traces {
+		if t.TraceID == "" || len(t.Spans) == 0 {
+			return fmt.Errorf("malformed trace entry %+v", t)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "traces      kept=%d ring_cap=%d sampled_out=%d\n",
+		snap.Kept, snap.Capacity, snap.SampledOut)
+	return nil
 }
 
 // shot describes one request shape a scenario repeats.

@@ -12,6 +12,8 @@
 //     constants (the d == Unreachable wire-sentinel pattern).
 //   - sleeptest: no wall-clock time.Sleep in _test.go files (the
 //     flaky-under-race test class).
+//   - spanend: every *Span assigned from a Start* call is ended on
+//     all paths (a leaked span silently drops its trace subtree).
 //
 // Findings can be suppressed, one rule at a time, with a mandatory
 // reason:
@@ -51,7 +53,7 @@ type Analyzer struct {
 
 // Analyzers returns every registered analyzer, in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockHeld, RespWrite, CtxFlow, FloatSentinel, SleepTest}
+	return []*Analyzer{LockHeld, RespWrite, CtxFlow, FloatSentinel, SleepTest, SpanEnd}
 }
 
 // suppressRule names the pseudo-rule under which malformed

@@ -67,6 +67,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{name: "ctxmain"},
 		{name: "floatsentinel"},
 		{name: "sleeptest"},
+		{name: "spanend"},
 		{name: "suppress", extra: []string{
 			"suppress.go:21 suppress",
 			"suppress.go:27 suppress",

@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpanEnd flags spans that can leak: a `Start*` call whose `*Span`
+// result escapes into a variable must be ended on every path out of
+// the function — `defer span.End()` anywhere in the function, or an
+// explicit `span.End()` (or a return of the span itself, which hands
+// ownership to the caller) reachable on all control-flow paths after
+// the Start. A span that is never ended never reaches the collector:
+// the trace silently loses its subtree, and for a root span the whole
+// trace is dropped, which is exactly the kind of observability hole
+// that only shows up during an outage. Matching is structural — any
+// callee named Start* returning a pointer to a type named Span — so
+// the fixture package needs no dependency on internal/trace.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every *Span from a Start* call must be ended on all paths (prefer defer span.End())",
+	Run:  runSpanEnd,
+}
+
+// endState is the verdict for one statement list during the path scan.
+type endState int
+
+const (
+	// stFallthru: control reaches the end of the list with the span
+	// still open.
+	stFallthru endState = iota
+	// stEnded: the span was ended (or its ownership returned) before
+	// control left the list.
+	stEnded
+	// stBadExit: some path leaves the function (return, branch out)
+	// with the span still open.
+	stBadExit
+)
+
+func runSpanEnd(p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				out = append(out, checkSpanUnit(p, body)...)
+			}
+			return true // keep descending: nested funclits are their own units
+		})
+	}
+	return out
+}
+
+// checkSpanUnit checks one function body (FuncDecl or FuncLit),
+// ignoring nested function literals — they are separate units with
+// their own span discipline.
+func checkSpanUnit(p *Pkg, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(p, call)
+		if callee == nil || !strings.HasPrefix(callee.Name(), "Start") {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil || !isSpanPointer(obj.Type()) {
+				continue
+			}
+			if hasDeferredEnd(p, body, obj) {
+				continue
+			}
+			found, st := checkAfterTarget(p, body.List, assign, obj)
+			if !found || st != stEnded {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(assign.Pos()),
+					Rule: "spanend",
+					Msg: fmt.Sprintf("span %q from %s is not ended on every path; add `defer %s.End()` right after the Start call",
+						id.Name, callee.Name(), id.Name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSpanPointer reports whether t is *Span for any named type Span.
+func isSpanPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// isEndCall reports whether e is a call of obj.End(...).
+func isEndCall(p *Pkg, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && p.Info.Uses[id] == obj
+}
+
+// identRefers reports whether e is an identifier bound to obj.
+func identRefers(p *Pkg, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && p.Info.Uses[id] == obj
+}
+
+// hasDeferredEnd reports whether the unit registers `defer obj.End()`
+// anywhere (outside nested funclits). A deferred End runs on every exit
+// path including panics, so its presence settles the check.
+func hasDeferredEnd(p *Pkg, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && isEndCall(p, d.Call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsStmt reports whether target sits anywhere inside n (funclits
+// excluded; a target was collected outside them).
+func containsStmt(n ast.Node, target ast.Stmt) bool {
+	found := false
+	inspectSkippingFuncLits(n, func(m ast.Node) bool {
+		if m == ast.Node(target) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAfterTarget locates target within stmts (descending into the
+// block structure) and scans the statements that execute after it.
+func checkAfterTarget(p *Pkg, stmts []ast.Stmt, target ast.Stmt, obj types.Object) (bool, endState) {
+	for i, s := range stmts {
+		if ast.Node(s) == ast.Node(target) {
+			return true, scanStmts(p, stmts[i+1:], obj)
+		}
+		if !containsStmt(s, target) {
+			continue
+		}
+		found, st := targetInStmt(p, s, target, obj)
+		if !found {
+			// The target hides in a construct the scanner does not model
+			// (e.g. an if-statement Init clause); be conservative.
+			return true, stBadExit
+		}
+		if st == stEnded || st == stBadExit {
+			return true, st
+		}
+		switch s.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Fell off a loop body with the span open: the next
+			// iteration starts a fresh span and this one leaks.
+			return true, stBadExit
+		}
+		return true, scanStmts(p, stmts[i+1:], obj)
+	}
+	return false, stFallthru
+}
+
+// targetInStmt descends into the sub-blocks of s looking for target.
+func targetInStmt(p *Pkg, s ast.Stmt, target ast.Stmt, obj types.Object) (bool, endState) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return checkAfterTarget(p, st.List, target, obj)
+	case *ast.LabeledStmt:
+		return targetInStmt(p, st.Stmt, target, obj)
+	case *ast.IfStmt:
+		if containsStmt(st.Body, target) {
+			return checkAfterTarget(p, st.Body.List, target, obj)
+		}
+		if st.Else != nil && containsStmt(st.Else, target) {
+			switch el := st.Else.(type) {
+			case *ast.BlockStmt:
+				return checkAfterTarget(p, el.List, target, obj)
+			case *ast.IfStmt:
+				return targetInStmt(p, el, target, obj)
+			}
+		}
+	case *ast.ForStmt:
+		if containsStmt(st.Body, target) {
+			return checkAfterTarget(p, st.Body.List, target, obj)
+		}
+	case *ast.RangeStmt:
+		if containsStmt(st.Body, target) {
+			return checkAfterTarget(p, st.Body.List, target, obj)
+		}
+	case *ast.SwitchStmt:
+		return targetInClauses(p, st.Body.List, target, obj)
+	case *ast.TypeSwitchStmt:
+		return targetInClauses(p, st.Body.List, target, obj)
+	case *ast.SelectStmt:
+		return targetInClauses(p, st.Body.List, target, obj)
+	}
+	return false, stFallthru
+}
+
+// targetInClauses descends into switch/select clause bodies.
+func targetInClauses(p *Pkg, clauses []ast.Stmt, target ast.Stmt, obj types.Object) (bool, endState) {
+	for _, c := range clauses {
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			if found, st := checkAfterTarget(p, cl.Body, target, obj); found {
+				return true, st
+			}
+		case *ast.CommClause:
+			if found, st := checkAfterTarget(p, cl.Body, target, obj); found {
+				return true, st
+			}
+		}
+	}
+	return false, stFallthru
+}
+
+// scanStmts walks a statement list executed after the Start call and
+// reports whether the span is ended before control leaves it.
+func scanStmts(p *Pkg, stmts []ast.Stmt, obj types.Object) endState {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if isEndCall(p, st.X, obj) {
+				return stEnded
+			}
+		case *ast.DeferStmt:
+			if isEndCall(p, st.Call, obj) {
+				return stEnded
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if identRefers(p, r, obj) {
+					return stEnded // ownership handed to the caller
+				}
+			}
+			return stBadExit
+		case *ast.BranchStmt:
+			return stBadExit // break/continue/goto with the span open
+		case *ast.BlockStmt:
+			switch scanStmts(p, st.List, obj) {
+			case stEnded:
+				return stEnded
+			case stBadExit:
+				return stBadExit
+			}
+		case *ast.LabeledStmt:
+			switch scanStmts(p, []ast.Stmt{st.Stmt}, obj) {
+			case stEnded:
+				return stEnded
+			case stBadExit:
+				return stBadExit
+			}
+		case *ast.IfStmt:
+			thenSt := scanStmts(p, st.Body.List, obj)
+			elseSt := stFallthru
+			if st.Else != nil {
+				switch el := st.Else.(type) {
+				case *ast.BlockStmt:
+					elseSt = scanStmts(p, el.List, obj)
+				case *ast.IfStmt:
+					elseSt = scanStmts(p, []ast.Stmt{el}, obj)
+				}
+			}
+			if thenSt == stBadExit || elseSt == stBadExit {
+				return stBadExit
+			}
+			if thenSt == stEnded && elseSt == stEnded {
+				return stEnded
+			}
+			// Mixed: some path continues with the span open; keep scanning.
+		case *ast.ForStmt:
+			// The body may run zero times, so an End inside cannot prove
+			// the span ends — but a bad exit inside is still bad.
+			if scanStmts(p, st.Body.List, obj) == stBadExit {
+				return stBadExit
+			}
+		case *ast.RangeStmt:
+			if scanStmts(p, st.Body.List, obj) == stBadExit {
+				return stBadExit
+			}
+		case *ast.SwitchStmt:
+			switch scanClauses(p, st.Body.List, obj, hasDefaultClause(st.Body.List)) {
+			case stEnded:
+				return stEnded
+			case stBadExit:
+				return stBadExit
+			}
+		case *ast.TypeSwitchStmt:
+			switch scanClauses(p, st.Body.List, obj, hasDefaultClause(st.Body.List)) {
+			case stEnded:
+				return stEnded
+			case stBadExit:
+				return stBadExit
+			}
+		case *ast.SelectStmt:
+			// A select always executes exactly one clause.
+			switch scanClauses(p, st.Body.List, obj, true) {
+			case stEnded:
+				return stEnded
+			case stBadExit:
+				return stBadExit
+			}
+		}
+	}
+	return stFallthru
+}
+
+// hasDefaultClause reports whether a switch body has a default case.
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		if cl, ok := c.(*ast.CaseClause); ok && cl.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanClauses merges the clause bodies of a switch/select: any bad exit
+// is bad; all clauses ending (and the construct being exhaustive) ends
+// the span; anything else falls through.
+func scanClauses(p *Pkg, clauses []ast.Stmt, obj types.Object, exhaustive bool) endState {
+	allEnded := len(clauses) > 0
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			body = cl.Body
+		case *ast.CommClause:
+			body = cl.Body
+		default:
+			continue
+		}
+		switch scanStmts(p, body, obj) {
+		case stBadExit:
+			return stBadExit
+		case stEnded:
+		default:
+			allEnded = false
+		}
+	}
+	if allEnded && exhaustive {
+		return stEnded
+	}
+	return stFallthru
+}

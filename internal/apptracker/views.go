@@ -10,6 +10,7 @@ import (
 	"p4p/internal/core"
 	"p4p/internal/portal"
 	"p4p/internal/telemetry"
+	"p4p/internal/trace"
 )
 
 // ViewFetcher is the slice of the portal client PortalViews needs; the
@@ -133,6 +134,13 @@ type PortalViews struct {
 	// Metrics, when non-nil, mirrors the ViewStats counters into the
 	// telemetry registry (see NewViewMetrics).
 	Metrics *ViewMetrics
+	// Tracer, when non-nil, records each portal refresh as a root span
+	// (the refresh happens off any caller's request path, so it starts
+	// its own trace) annotated with the outcome: refreshed, or a
+	// stale/nil fallback. The portal client's spans nest under it, so a
+	// refresh that retried three times and fell back is one readable
+	// trace in /debug/traces.
+	Tracer *trace.Tracer
 
 	// nowFn, when non-nil, replaces time.Now so tests can drive the
 	// TTL and backoff windows with a fake clock instead of sleeping.
@@ -211,8 +219,10 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 
 	//p4pvet:ignore ctxflow ViewFor implements the context-free ViewProvider interface; RefreshTimeout is the refresh's only ancestor deadline
 	ctx, cancel := context.WithTimeout(context.Background(), p.refreshTimeout())
+	defer cancel()
+	ctx, span := p.Tracer.StartRoot(ctx, "view_refresh")
+	defer span.End()
 	v, err := p.Client.DistancesContext(ctx)
-	cancel()
 
 	p.mu.Lock()
 	p.refreshing = false
@@ -233,9 +243,12 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 			p.Metrics.nilServe()
 		}
 		p.mu.Unlock()
+		span.RecordError(err)
 		if stale == nil {
+			span.SetAttr("outcome", "nil_fallback")
 			return nil
 		}
+		span.SetAttr("outcome", "stale_fallback")
 		return stale
 	}
 	p.stats.Refreshes++
@@ -244,6 +257,8 @@ func (p *PortalViews) ViewFor(asn int) DistanceView {
 	p.fetched = p.now()
 	p.nextRetry = time.Time{}
 	p.mu.Unlock()
+	span.SetAttr("outcome", "refreshed")
+	span.SetAttrInt("view_version", v.Version)
 	return v
 }
 
@@ -262,8 +277,12 @@ func (p *PortalViews) BatchDistances(ctx context.Context, pairs []portal.PIDPair
 	if len(pairs) == 0 {
 		return nil, nil
 	}
+	ctx, span := trace.StartSpan(ctx, "batch_distances")
+	defer span.End()
+	span.SetAttrInt("pairs", len(pairs))
 	if dv := p.ViewFor(0); dv != nil {
 		if v, ok := dv.(*core.View); ok && viewCovers(v, pairs) {
+			span.SetAttr("source", "held_view")
 			out := make([]float64, len(pairs))
 			for i, pr := range pairs {
 				out[i] = v.Distance(pr.Src, pr.Dst)
@@ -273,10 +292,13 @@ func (p *PortalViews) BatchDistances(ctx context.Context, pairs []portal.PIDPair
 	}
 	bf, ok := p.Client.(BatchFetcher)
 	if !ok {
+		span.RecordError(errNoBatchSource)
 		return nil, errNoBatchSource
 	}
+	span.SetAttr("source", "batch_endpoint")
 	res, err := bf.BatchDistancesContext(ctx, pairs)
 	if err != nil {
+		span.RecordError(err)
 		return nil, err
 	}
 	return res.Distances, nil
@@ -294,6 +316,23 @@ func viewCovers(v *core.View, pairs []portal.PIDPair) bool {
 		}
 	}
 	return true
+}
+
+// Ready reports whether the appTracker holds portal data fresh enough
+// to serve: a view exists and, when maxAge > 0, it was fetched within
+// maxAge. /readyz gates on it so a load balancer never routes to an
+// appTracker that would answer every selection from nothing (native
+// random peering) because its portal was unreachable since boot.
+func (p *PortalViews) Ready(maxAge time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.view == nil {
+		return false
+	}
+	if maxAge <= 0 {
+		return true
+	}
+	return p.now().Sub(p.fetched) <= maxAge
 }
 
 // Stats returns a snapshot of the cache counters.

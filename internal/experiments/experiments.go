@@ -41,6 +41,10 @@ type Options struct {
 	// the output is byte-identical at any parallelism (see
 	// TestParallelReportsMatchSerial).
 	Parallelism int
+	// PoolStats, when non-nil, records per-cell wall times and pool
+	// utilization for every forEachCell run. Purely observational: it
+	// never changes scheduling or report bytes.
+	PoolStats *PoolStats
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +78,19 @@ func (o Options) forEachCell(n int, fn func(i int)) {
 	}
 	if workers > n {
 		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if ps := o.PoolStats; ps != nil {
+		run, start := ps.beginRun()
+		defer ps.endRun(start, workers)
+		inner := fn
+		fn = func(i int) {
+			cellStart := ps.now()
+			inner(i)
+			ps.recordCell(run, i, ps.now().Sub(cellStart))
+		}
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {

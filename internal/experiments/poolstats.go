@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// CellTiming is the measured wall time of one simulation cell.
+type CellTiming struct {
+	Run     int     // forEachCell invocation ordinal within the experiment
+	Cell    int     // cell index within that invocation
+	Seconds float64 // wall time the cell's fn(i) took
+}
+
+// PoolStats, when attached to Options, observes how forEachCell's
+// worker pool spends its time: per-cell wall durations, per-run wall
+// time, and the busy/capacity utilization ratio. It is pure
+// observability — reports stay byte-identical with or without it (see
+// TestParallelReportsMatchSerial) — and exists so cmd/p4pexp can show
+// whether an experiment is actually filling its workers or serializing
+// on a few giant cells. Safe for concurrent use by pool workers.
+type PoolStats struct {
+	// nowFn is a test seam; nil means time.Now.
+	nowFn func() time.Time
+
+	mu       sync.Mutex
+	runs     int
+	busy     float64 // sum of per-cell wall seconds
+	capacity float64 // sum over runs of workers x run wall seconds
+	wall     float64 // sum of run wall seconds
+	cells    []CellTiming
+}
+
+func (p *PoolStats) now() time.Time {
+	if p.nowFn != nil {
+		return p.nowFn()
+	}
+	return time.Now()
+}
+
+// beginRun opens a new forEachCell accounting window and returns its
+// ordinal plus the start time. Nil-safe.
+func (p *PoolStats) beginRun() (run int, start time.Time) {
+	if p == nil {
+		return 0, time.Time{}
+	}
+	start = p.now()
+	p.mu.Lock()
+	run = p.runs
+	p.runs++
+	p.mu.Unlock()
+	return run, start
+}
+
+// recordCell logs one cell's duration. Nil-safe; called concurrently
+// from pool workers.
+func (p *PoolStats) recordCell(run, cell int, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.busy += d.Seconds()
+	p.cells = append(p.cells, CellTiming{Run: run, Cell: cell, Seconds: d.Seconds()})
+	p.mu.Unlock()
+}
+
+// endRun closes a run's accounting window. Nil-safe.
+func (p *PoolStats) endRun(start time.Time, workers int) {
+	if p == nil {
+		return
+	}
+	elapsed := p.now().Sub(start).Seconds()
+	p.mu.Lock()
+	p.wall += elapsed
+	p.capacity += float64(workers) * elapsed
+	p.mu.Unlock()
+}
+
+// Cells returns a copy of every recorded cell timing, in record order.
+func (p *PoolStats) Cells() []CellTiming {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]CellTiming(nil), p.cells...)
+}
+
+// Runs returns how many forEachCell invocations were observed.
+func (p *PoolStats) Runs() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runs
+}
+
+// WallSeconds returns the summed wall time of all observed runs.
+func (p *PoolStats) WallSeconds() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wall
+}
+
+// BusySeconds returns the summed per-cell wall time across all runs.
+func (p *PoolStats) BusySeconds() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busy
+}
+
+// Utilization returns busy time over pool capacity (workers x wall,
+// summed per run): 1.0 means every worker was busy for every run's
+// whole duration; low values mean the pool idled waiting on stragglers.
+// Returns 0 before any run completes.
+func (p *PoolStats) Utilization() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity <= 0 {
+		return 0
+	}
+	return p.busy / p.capacity
+}
+
+// WriteTo renders a short human-readable summary (used by p4pexp's
+// -poolstats flag).
+func (p *PoolStats) WriteTo(w io.Writer) (int64, error) {
+	if p == nil {
+		return 0, nil
+	}
+	p.mu.Lock()
+	runs, wall, busy, capacity := p.runs, p.wall, p.busy, p.capacity
+	ncells := len(p.cells)
+	var slowest CellTiming
+	for _, c := range p.cells {
+		if c.Seconds > slowest.Seconds {
+			slowest = c
+		}
+	}
+	p.mu.Unlock()
+	util := 0.0
+	if capacity > 0 {
+		util = busy / capacity
+	}
+	n, err := fmt.Fprintf(w,
+		"pool: %d runs, %d cells, wall %.3fs, busy %.3fs, utilization %.1f%%, slowest cell run=%d cell=%d %.3fs\n",
+		runs, ncells, wall, busy, util*100, slowest.Run, slowest.Cell, slowest.Seconds)
+	return int64(n), err
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stepClock advances one second per reading, making serial pool timings
+// exactly predictable without any real sleeping.
+type stepClock struct{ t time.Time }
+
+func (c *stepClock) now() time.Time {
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+func TestPoolStatsSerialDeterministic(t *testing.T) {
+	clk := &stepClock{}
+	ps := &PoolStats{nowFn: clk.now}
+	o := Options{Parallelism: 1, PoolStats: ps}
+	var order []int
+	o.forEachCell(3, func(i int) { order = append(order, i) })
+
+	// Reads: beginRun (1s), then per cell start/end (one second apart),
+	// then endRun. With one worker: busy = 3s, wall = 7s.
+	if got := ps.BusySeconds(); got != 3 {
+		t.Errorf("busy = %v, want 3", got)
+	}
+	if got := ps.WallSeconds(); got != 7 {
+		t.Errorf("wall = %v, want 7", got)
+	}
+	if got := ps.Utilization(); got != 3.0/7.0 {
+		t.Errorf("utilization = %v, want 3/7", got)
+	}
+	if ps.Runs() != 1 {
+		t.Errorf("runs = %d, want 1", ps.Runs())
+	}
+	cells := ps.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(cells))
+	}
+	for i, c := range cells {
+		if c.Run != 0 || c.Cell != i || c.Seconds != 1 {
+			t.Errorf("cell %d = %+v, want {Run:0 Cell:%d Seconds:1}", i, c, i)
+		}
+	}
+	if len(order) != 3 {
+		t.Fatalf("fn ran %d times, want 3", len(order))
+	}
+}
+
+func TestPoolStatsParallelInvariants(t *testing.T) {
+	ps := &PoolStats{}
+	o := Options{Parallelism: 4, PoolStats: ps}
+	const n = 16
+	o.forEachCell(n, func(i int) {})
+	o.forEachCell(n, func(i int) {})
+
+	if ps.Runs() != 2 {
+		t.Fatalf("runs = %d, want 2", ps.Runs())
+	}
+	cells := ps.Cells()
+	if len(cells) != 2*n {
+		t.Fatalf("cells = %d, want %d", len(cells), 2*n)
+	}
+	// Every cell index of every run appears exactly once.
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].Run != cells[b].Run {
+			return cells[a].Run < cells[b].Run
+		}
+		return cells[a].Cell < cells[b].Cell
+	})
+	for i, c := range cells {
+		if c.Run != i/n || c.Cell != i%n || c.Seconds < 0 {
+			t.Fatalf("cell record %d = %+v", i, c)
+		}
+	}
+	if u := ps.Utilization(); u < 0 || u > 1.5 {
+		t.Errorf("utilization %v outside sane range", u)
+	}
+	var sb strings.Builder
+	if _, err := ps.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pool: 2 runs, 32 cells") {
+		t.Errorf("summary: %q", sb.String())
+	}
+}
+
+func TestPoolStatsNilSafe(t *testing.T) {
+	var ps *PoolStats
+	run, start := ps.beginRun()
+	ps.recordCell(run, 0, time.Second)
+	ps.endRun(start, 4)
+	if ps.Utilization() != 0 || ps.Cells() != nil || ps.Runs() != 0 {
+		t.Fatal("nil PoolStats must be inert")
+	}
+	if n, err := ps.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+	// Options without PoolStats takes the uninstrumented path.
+	ran := 0
+	Options{Parallelism: 2}.forEachCell(4, func(i int) { ran++ })
+	if ran != 4 {
+		t.Fatalf("ran %d cells, want 4", ran)
+	}
+}
+
+// TestPoolStatsDoesNotChangeReports pins the pure-observability
+// contract: the same experiment with and without stats attached renders
+// byte-identical output.
+func TestPoolStatsDoesNotChangeReports(t *testing.T) {
+	plain := Figure7SwarmSize(Options{Scale: 0.02, Seed: 42, Parallelism: 4})
+	ps := &PoolStats{}
+	instrumented := Figure7SwarmSize(Options{Scale: 0.02, Seed: 42, Parallelism: 4, PoolStats: ps})
+	got, want := renderReport(t, instrumented), renderReport(t, plain)
+	if got != want {
+		t.Fatalf("PoolStats changed report bytes:\n--- plain ---\n%s\n--- instrumented ---\n%s", want, got)
+	}
+	if len(ps.Cells()) == 0 || ps.Runs() == 0 {
+		t.Fatal("instrumented run recorded no cells")
+	}
+}

@@ -1,0 +1,77 @@
+// Package health serves the two conventional probe endpoints both
+// binaries mount:
+//
+//	GET /healthz — liveness: the process is up and serving HTTP.
+//	GET /readyz  — readiness: the process can usefully answer traffic.
+//
+// Liveness is unconditional. Readiness runs the registered checks —
+// the iTracker gates on having a materialized view, the appTracker on
+// fresh-enough portal data — and answers 503 with per-check detail
+// when any fails, so a load balancer drains the instance instead of
+// routing requests that would be served cold or from nothing.
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Check is one named readiness probe. Probe returns whether the
+// condition holds and an optional human-readable detail (shown in the
+// /readyz body either way).
+type Check struct {
+	Name  string
+	Probe func() (ok bool, detail string)
+}
+
+// checkWire is one check's JSON form in the /readyz body.
+type checkWire struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// readyWire is the /readyz response body.
+type readyWire struct {
+	Status string      `json:"status"` // "ok" | "unavailable"
+	Checks []checkWire `json:"checks,omitempty"`
+}
+
+var livenessBody = []byte("{\"status\":\"ok\"}\n")
+
+// Handler serves liveness: 200 whenever the process can run a handler.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(livenessBody)
+	})
+}
+
+// ReadyHandler serves readiness over the given checks, evaluated in
+// order on every request: 200 when all pass, 503 when any fails. With
+// no checks it degrades to liveness. The body is marshaled before the
+// first write so it is never truncated mid-stream.
+func ReadyHandler(checks ...Check) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out := readyWire{Status: "ok"}
+		status := http.StatusOK
+		for _, c := range checks {
+			ok, detail := c.Probe()
+			out.Checks = append(out.Checks, checkWire{Name: c.Name, OK: ok, Detail: detail})
+			if !ok {
+				out.Status = "unavailable"
+				status = http.StatusServiceUnavailable
+			}
+		}
+		body, err := json.Marshal(out)
+		if err != nil {
+			http.Error(w, `{"error":"readyz encode failed"}`, http.StatusInternalServerError)
+			return
+		}
+		body = append(body, '\n')
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(status)
+		w.Write(body)
+	})
+}

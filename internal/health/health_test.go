@@ -1,0 +1,85 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestLivenessAlwaysOK(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Status != "ok" {
+		t.Fatalf("body %q err %v", rec.Body.String(), err)
+	}
+}
+
+func TestReadyAllPass(t *testing.T) {
+	h := ReadyHandler(
+		Check{Name: "view", Probe: func() (bool, string) { return true, "version 3" }},
+		Check{Name: "disk", Probe: func() (bool, string) { return true, "" }},
+	)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	var out struct {
+		Status string `json:"status"`
+		Checks []struct {
+			Name   string `json:"name"`
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || len(out.Checks) != 2 || !out.Checks[0].OK || out.Checks[0].Detail != "version 3" {
+		t.Fatalf("body: %s", rec.Body.String())
+	}
+}
+
+func TestReadyOneFails(t *testing.T) {
+	flip := true
+	h := ReadyHandler(
+		Check{Name: "view", Probe: func() (bool, string) { return flip, "stale" }},
+		Check{Name: "other", Probe: func() (bool, string) { return true, "" }},
+	)
+	flip = false
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Status != "unavailable" {
+		t.Fatalf("body %q err %v", rec.Body.String(), err)
+	}
+
+	// Checks are re-evaluated per request: once the probe recovers,
+	// readiness flips back without restarting anything.
+	flip = true
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered status %d, want 200", rec.Code)
+	}
+}
+
+func TestReadyNoChecks(t *testing.T) {
+	rec := httptest.NewRecorder()
+	ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 with no checks", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@
 package itracker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"p4p/internal/core"
 	"p4p/internal/telemetry"
 	"p4p/internal/topology"
+	"p4p/internal/trace"
 )
 
 // Policy is the network usage policy exposed by the policy interface.
@@ -214,6 +216,15 @@ func (t *Server) PolicyFor(token string) (Policy, error) {
 // recompute. The aggregation PID set is re-derived on every recompute,
 // so topology growth is picked up at the next version bump.
 func (t *Server) Distances(token string) (*core.View, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
+	return t.DistancesCtx(context.Background(), token)
+}
+
+// DistancesCtx is Distances with a caller context, used only for trace
+// propagation: a sampled request records whether it paid for the
+// recompute itself, waited on another goroutine's singleflight, or hit
+// the cache (no span at all). The cache-hit path touches no trace code.
+func (t *Server) DistancesCtx(ctx context.Context, token string) (*core.View, error) {
 	if !t.authorized(token) {
 		return nil, ErrAccessDenied
 	}
@@ -226,9 +237,12 @@ func (t *Server) Distances(token string) (*core.View, error) {
 		}
 		if done := t.inflight; done != nil {
 			// Another goroutine is materializing; wait for it with the
-			// lock released, then re-check the cache.
+			// lock released, then re-check the cache. The wait span makes
+			// a coalesced request distinguishable from the one that paid.
 			t.mu.Unlock()
+			_, span := trace.StartSpan(ctx, "singleflight_wait")
 			<-done
+			span.End()
 			t.mu.Lock()
 			continue
 		}
@@ -238,7 +252,7 @@ func (t *Server) Distances(token string) (*core.View, error) {
 		// If a price update raced the recompute, view.Version lags the
 		// engine and the next caller re-materializes; this caller still
 		// gets a self-consistent snapshot.
-		return t.materialize(done), nil
+		return t.materialize(ctx, done), nil
 	}
 }
 
@@ -248,7 +262,9 @@ func (t *Server) Distances(token string) (*core.View, error) {
 // leave t.inflight set and done unclosed, wedging every concurrent and
 // future caller forever. The panic itself still propagates to the
 // materializing caller; released waiters simply retry.
-func (t *Server) materialize(done chan struct{}) (view *core.View) {
+func (t *Server) materialize(ctx context.Context, done chan struct{}) (view *core.View) {
+	_, span := trace.StartSpan(ctx, "recompute")
+	defer span.End()
 	defer func() {
 		t.mu.Lock()
 		if view != nil {
@@ -267,6 +283,8 @@ func (t *Server) materialize(done chan struct{}) (view *core.View) {
 	}
 	view = t.engine.Matrix(pids)
 	t.Metrics.recompute(time.Since(start), view.Version)
+	span.SetAttrInt("view_version", view.Version)
+	span.SetAttrInt("pids", len(pids))
 	return view
 }
 
@@ -289,6 +307,13 @@ type EncodeFunc func(*core.View) ([]byte, error)
 // encode, while concurrent callers wait without holding the server
 // lock. Encode failures are returned, not cached.
 func (t *Server) EncodedView(token, form string, encode EncodeFunc) ([]byte, int, error) {
+	//p4pvet:ignore ctxflow documented non-Context convenience wrapper; the Context variant is the library API
+	return t.EncodedViewCtx(context.Background(), token, form, encode)
+}
+
+// EncodedViewCtx is EncodedView with a caller context for trace
+// propagation; the cache-hit fast path touches no trace code.
+func (t *Server) EncodedViewCtx(ctx context.Context, token, form string, encode EncodeFunc) ([]byte, int, error) {
 	if !t.authorized(token) {
 		return nil, 0, ErrAccessDenied
 	}
@@ -303,20 +328,25 @@ func (t *Server) EncodedView(token, form string, encode EncodeFunc) ([]byte, int
 			// Another goroutine is encoding this form; wait with the
 			// lock released, then re-check the cache.
 			t.mu.Unlock()
+			_, span := trace.StartSpan(ctx, "encode_wait")
 			<-done
+			span.End()
 			t.mu.Lock()
 			continue
 		}
 		t.encInflight[form] = make(chan struct{})
 		t.mu.Unlock()
-		return t.encodeView(token, form, encode)
+		return t.encodeView(ctx, token, form, encode)
 	}
 }
 
 // encodeView materializes and encodes the current view for one form.
 // Publication and waiter release run under defer, so a panicking
 // engine or encoder cannot strand the per-form singleflight.
-func (t *Server) encodeView(token, form string, encode EncodeFunc) (body []byte, version int, err error) {
+func (t *Server) encodeView(ctx context.Context, token, form string, encode EncodeFunc) (body []byte, version int, err error) {
+	ctx, span := trace.StartSpan(ctx, "encode")
+	defer span.End()
+	span.SetAttr("form", form)
 	var entry *encodedEntry
 	defer func() {
 		t.mu.Lock()
@@ -328,14 +358,17 @@ func (t *Server) encodeView(token, form string, encode EncodeFunc) (body []byte,
 		t.mu.Unlock()
 		close(done)
 	}()
-	v, err := t.Distances(token)
+	v, err := t.DistancesCtx(ctx, token)
 	if err != nil {
+		span.RecordError(err)
 		return nil, 0, err
 	}
 	body, err = encode(v)
 	if err != nil {
+		span.RecordError(err)
 		return nil, 0, err
 	}
+	span.SetAttrInt("bytes", len(body))
 	entry = &encodedEntry{version: v.Version, body: body}
 	return body, v.Version, nil
 }
@@ -348,6 +381,16 @@ func (t *Server) ViewVersion(token string) (int, error) {
 		return 0, ErrAccessDenied
 	}
 	return t.engine.Version(), nil
+}
+
+// Ready reports whether a materialized view is cached — the readiness
+// signal /readyz gates on, so a load balancer sends no traffic to a
+// portal that would answer its first request with a cold recompute.
+// cmd/itracker primes one materialization at startup.
+func (t *Server) Ready() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cachedView != nil
 }
 
 // ViewRecomputes reports how many times the external view has been

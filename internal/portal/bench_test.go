@@ -10,6 +10,7 @@ import (
 	"p4p/internal/itracker"
 	"p4p/internal/telemetry"
 	"p4p/internal/topology"
+	"p4p/internal/trace"
 )
 
 // newBenchPortal builds a fully instrumented handler so the benchmarks
@@ -26,6 +27,11 @@ func newBenchPortal(b testing.TB) (*Handler, *itracker.Server) {
 	tr.Metrics = itracker.NewMetrics(reg)
 	h := NewHandler(tr)
 	h.Telemetry.Metrics = telemetry.NewHTTPMetrics(reg, "p4p_http")
+	// Tracing middleware installed with head sampling off: the
+	// production steady state for the hot path, where an unsampled
+	// request must cost nothing. TestTracedUnsampledDistancesAllocs pins
+	// it; the sampled path has its own tests.
+	h.Telemetry.Tracer = &trace.Tracer{Collector: trace.NewCollector(64, 0, 1), SampleRate: 0}
 	h.CacheMetrics = NewCacheMetrics(reg)
 	h.Telemetry.Preregister()
 	return h, tr

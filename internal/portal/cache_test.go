@@ -281,6 +281,61 @@ func TestCachedDistancesAllocs(t *testing.T) {
 	}
 }
 
+// TestTracedUnsampledDistancesAllocs pins the tracing acceptance bar:
+// with the tracing middleware installed, an unsampled request through
+// the cached distances path costs no more than the untraced budget of
+// TestCachedDistancesAllocs — whether unsampled because head sampling
+// is off (no inbound header) or because the caller said so (inbound
+// traceparent with the sampled flag clear, which must be honored).
+func TestTracedUnsampledDistancesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	h, _ := newBenchPortal(t) // tracer installed, SampleRate 0
+	collector := h.Telemetry.Tracer.Collector
+
+	cases := []struct {
+		name        string
+		traceparent string
+	}{
+		{"head_sampling_off", ""},
+		{"inbound_unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+			if tc.traceparent != "" {
+				req.Header.Set("Traceparent", tc.traceparent)
+			}
+			h.ServeHTTP(httptest.NewRecorder(), req) // prime the caches
+			w := newBenchWriter()
+			allocs := testing.AllocsPerRun(500, func() {
+				w.reset()
+				h.ServeHTTP(w, req)
+				if w.status != http.StatusOK {
+					t.Fatalf("status %d", w.status)
+				}
+			})
+			if allocs > 5 {
+				t.Fatalf("traced unsampled distances path: %.1f allocs/op, want <= 5", allocs)
+			}
+		})
+	}
+	if kept := collector.Snapshot().Kept; kept != 0 {
+		t.Fatalf("unsampled requests recorded %d traces", kept)
+	}
+
+	// Control: a sampled inbound request with the same tracer does
+	// record, proving the zero-alloc runs above exercised live tracing
+	// middleware rather than a disabled one.
+	req := httptest.NewRequest(http.MethodGet, "/p4p/v1/distances", nil)
+	req.Header.Set("Traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if kept := collector.Snapshot().Kept; kept != 1 {
+		t.Fatalf("sampled request recorded %d traces, want 1", kept)
+	}
+}
+
 // TestCacheMetricsRegistered checks the new families land in /metrics
 // via the shared registry.
 func TestCacheMetricsRegistered(t *testing.T) {

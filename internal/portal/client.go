@@ -17,6 +17,7 @@ import (
 	"p4p/internal/core"
 	"p4p/internal/itracker"
 	"p4p/internal/telemetry"
+	"p4p/internal/trace"
 )
 
 // RetryPolicy bounds the client's retry loop. Attempts are spaced by
@@ -200,11 +201,23 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
+	// Reuse the inbound handler's request ID when this call originates
+	// from one (so appTracker and portal logs line up), else mint. The
+	// client span is a child of whatever span the caller's context
+	// carries; with no active span it is nil and tracing costs nothing.
+	reqID := telemetry.RequestID(ctx)
+	if !telemetry.ValidRequestID(reqID) {
+		reqID = telemetry.NewRequestID()
+	}
+	ctx, span := trace.StartSpan(ctx, "client "+method+" "+path)
+	defer span.End()
+	span.SetAttr("request_id", reqID)
 	pol := c.Retry.withDefaults()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		status, body, respETag, lastErr = c.attempt(ctx, hc, method, u, path, payload, etag, pol.PerAttempt)
+		status, body, respETag, lastErr = c.attempt(ctx, hc, method, u, path, payload, etag, pol.PerAttempt, reqID, attempt)
 		if lastErr == nil && !retryable(status, nil) {
+			span.SetAttrInt("attempts", attempt)
 			return status, body, respETag, nil
 		}
 		if lastErr == nil {
@@ -214,7 +227,10 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 		if attempt >= pol.MaxAttempts || ctx.Err() != nil {
 			c.Metrics.failure()
-			return 0, nil, "", fmt.Errorf("portal: %s: giving up after %d attempt(s): %w", path, attempt, lastErr)
+			err = fmt.Errorf("portal: %s: giving up after %d attempt(s): %w", path, attempt, lastErr)
+			span.SetAttrInt("attempts", attempt)
+			span.RecordError(err)
+			return 0, nil, "", err
 		}
 		sleep := pol.backoff(attempt)
 		c.Metrics.retry()
@@ -225,23 +241,34 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		case <-ctx.Done():
 			c.Metrics.backoff(time.Since(slept))
 			c.Metrics.failure()
-			return 0, nil, "", fmt.Errorf("portal: %s: %w (after %d attempt(s): %v)", path, ctx.Err(), attempt, lastErr)
+			err = fmt.Errorf("portal: %s: %w (after %d attempt(s): %v)", path, ctx.Err(), attempt, lastErr)
+			span.SetAttrInt("attempts", attempt)
+			span.RecordError(err)
+			return 0, nil, "", err
 		}
 	}
 }
 
 // attempt issues one request under a per-attempt deadline. A non-nil
-// payload is re-read from scratch on every attempt.
-func (c *Client) attempt(ctx context.Context, hc *http.Client, method, u, path string, payload []byte, etag string, perAttempt time.Duration) (int, []byte, string, error) {
+// payload is re-read from scratch on every attempt. Each attempt gets
+// its own child span, and the traceparent injected on the wire names
+// that attempt — so the portal's server span parents to the specific
+// try that reached it, and a retried request is visibly two hops.
+func (c *Client) attempt(ctx context.Context, hc *http.Client, method, u, path string, payload []byte, etag string, perAttempt time.Duration, reqID string, attempt int) (int, []byte, string, error) {
 	actx, cancel := context.WithTimeout(ctx, perAttempt)
 	defer cancel()
+	actx, span := trace.StartSpan(actx, "attempt")
+	defer span.End()
+	span.SetAttrInt("attempt", attempt)
 	var reqBody io.Reader
 	if payload != nil {
 		reqBody = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(actx, method, u, reqBody)
 	if err != nil {
-		return 0, nil, "", fmt.Errorf("build request: %w", err)
+		err = fmt.Errorf("build request: %w", err)
+		span.RecordError(err)
+		return 0, nil, "", err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -252,15 +279,21 @@ func (c *Client) attempt(ctx context.Context, hc *http.Client, method, u, path s
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	req.Header.Set("X-Request-Id", reqID)
+	trace.Inject(actx, req.Header)
 	resp, err := hc.Do(req)
 	if err != nil {
+		span.RecordError(err)
 		return 0, nil, "", err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return 0, nil, "", fmt.Errorf("read body: %w", err)
+		err = fmt.Errorf("read body: %w", err)
+		span.RecordError(err)
+		return 0, nil, "", err
 	}
+	span.SetAttrInt("http.status", resp.StatusCode)
 	return resp.StatusCode, body, resp.Header.Get("ETag"), nil
 }
 

@@ -305,7 +305,7 @@ func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
 		// racing the encode can leave the entry one version behind; the
 		// next request simply misses again.
 		h.CacheMetrics.miss()
-		body, version, err := h.Tracker.EncodedView(token, form, encoderFor(form))
+		body, version, err := h.Tracker.EncodedViewCtx(r.Context(), token, form, encoderFor(form))
 		if err != nil {
 			h.writeErr(w, r, err)
 			return
@@ -407,7 +407,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			errorWire{Error: fmt.Sprintf("%d pairs exceeds the %d-pair batch limit", len(pairs), maxBatchPairs)})
 		return
 	}
-	v, err := h.Tracker.Distances(token)
+	v, err := h.Tracker.DistancesCtx(r.Context(), token)
 	if err != nil {
 		h.writeErr(w, r, err)
 		return

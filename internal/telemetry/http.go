@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math/rand/v2"
@@ -11,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"p4p/internal/trace"
 )
 
 // HTTPMetrics is the per-route instrumentation both binaries mount:
@@ -106,6 +109,42 @@ func ContextWithRequestID(ctx context.Context, id string) context.Context {
 	return context.WithValue(ctx, reqIDKey{}, id)
 }
 
+// requestIDHeader is the canonical MIME form of X-Request-ID, for
+// allocation-free direct header-map access.
+const requestIDHeader = "X-Request-Id"
+
+// ValidRequestID reports whether an inbound X-Request-ID is safe to
+// adopt: non-empty, bounded, and limited to URL-ish token characters so
+// a hostile client cannot smuggle log/header garbage through us.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// incomingRequestID adopts a valid inbound X-Request-ID (so an
+// appTracker call and the portal's log line for it share one ID), or
+// mints a fresh one. The header read is a direct canonical-key map
+// index — no allocation on the serving path.
+func incomingRequestID(h http.Header) string {
+	if v := h[requestIDHeader]; len(v) > 0 && ValidRequestID(v[0]) {
+		return v[0]
+	}
+	return NewRequestID()
+}
+
 // RequestID returns the request ID carried by ctx, or "".
 func RequestID(ctx context.Context) string {
 	id, _ := ctx.Value(reqIDKey{}).(string)
@@ -160,10 +199,19 @@ type Middleware struct {
 	// Logger, when non-nil, logs one structured line per request,
 	// carrying the request ID.
 	Logger *slog.Logger
+	// Tracer, when non-nil, starts a server span per sampled request:
+	// a valid inbound traceparent continues the caller's trace (or is
+	// honored when unsampled — zero cost), anything else starts a fresh
+	// head-sampled one.
+	Tracer *trace.Tracer
 
 	mu     sync.Mutex
 	routes []string
 }
+
+// errStatus5xx marks a span errored when the handler answered 5xx, so
+// the tail sampler always keeps the trace.
+var errStatus5xx = errors.New("5xx response")
 
 // Route wraps next with instrumentation under the given route name:
 // a request ID is minted and attached to the context and the
@@ -175,18 +223,34 @@ func (mw *Middleware) Route(route string, next http.Handler) http.Handler {
 	mw.mu.Unlock()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := NewRequestID()
+		id := incomingRequestID(r.Header)
 		w.Header()["X-Request-Id"] = []string{id} // canonical key, direct write
-		if mw.Logger != nil {
-			// The context copy exists so handlers and the log line can
-			// recover the ID; without a logger nothing reads it, and the
-			// two allocations (value box + request clone) are the
-			// difference between a zero-alloc and a chunky serving path.
-			r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		ctx := r.Context()
+		var span *trace.Span
+		if mw.Tracer != nil {
+			// StartServer returns a nil span (and the context untouched)
+			// for unsampled traffic, keeping the hot path allocation-free;
+			// every span method below is nil-safe.
+			ctx, span = mw.Tracer.StartServer(ctx, route, trace.Incoming(r.Header))
+			span.SetAttr("http.method", r.Method)
+			span.SetAttr("request_id", id)
+		}
+		if mw.Logger != nil || span != nil {
+			// The context copy exists so handlers, outbound client calls,
+			// and the log line can recover the ID; without a logger or a
+			// sampled span nothing reads it, and the two allocations
+			// (value box + request clone) are the difference between a
+			// zero-alloc and a chunky serving path.
+			r = r.WithContext(ContextWithRequestID(ctx, id))
 		}
 		sw := &StatusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		d := time.Since(start)
+		span.SetAttrInt("http.status", sw.Status())
+		if sw.Status() >= 500 {
+			span.RecordError(errStatus5xx)
+		}
+		span.End()
 		mw.Metrics.Observe(route, sw.Status(), d)
 		if mw.Logger != nil {
 			mw.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",

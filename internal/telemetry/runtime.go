@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+)
+
+// RuntimeMetrics exports the Go runtime's health signals — goroutine
+// count, heap in use, GC pause time and cycle count — into a Registry,
+// sampled lazily on each scrape rather than by a background goroutine:
+// both binaries wrap their /metrics handler with Handler(), so the
+// numbers are exactly as fresh as the scrape and an idle process does
+// no periodic work.
+type RuntimeMetrics struct {
+	goroutines  *Gauge
+	heapInuse   *Gauge
+	heapObjects *Gauge
+	gcPauses    *Counter
+	gcCycles    *Counter
+
+	// mu serializes Collect; lastPauseNs/lastGCs convert the runtime's
+	// monotonically-growing totals into counter deltas (Counter.Add
+	// ignores negatives, and re-adding the whole total each scrape
+	// would double-count).
+	mu          sync.Mutex
+	lastPauseNs uint64
+	lastGCs     uint32
+}
+
+// NewRuntimeMetrics registers the runtime metric families.
+func NewRuntimeMetrics(r *Registry) *RuntimeMetrics {
+	return &RuntimeMetrics{
+		goroutines: r.Gauge("p4p_runtime_goroutines",
+			"Live goroutines at the last scrape."),
+		heapInuse: r.Gauge("p4p_runtime_heap_inuse_bytes",
+			"Bytes of heap in use at the last scrape."),
+		heapObjects: r.Gauge("p4p_runtime_heap_objects",
+			"Live heap objects at the last scrape."),
+		gcPauses: r.Counter("p4p_runtime_gc_pause_seconds_total",
+			"Cumulative stop-the-world GC pause time."),
+		gcCycles: r.Counter("p4p_runtime_gc_cycles_total",
+			"Completed GC cycles."),
+	}
+}
+
+// Collect samples the runtime into the registered families. It is safe
+// for concurrent use; each call costs one runtime.ReadMemStats.
+func (m *RuntimeMetrics) Collect() {
+	if m == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.goroutines.Set(float64(runtime.NumGoroutine()))
+	m.heapInuse.Set(float64(ms.HeapInuse))
+	m.heapObjects.Set(float64(ms.HeapObjects))
+	m.mu.Lock()
+	if ms.PauseTotalNs >= m.lastPauseNs {
+		m.gcPauses.Add(float64(ms.PauseTotalNs-m.lastPauseNs) / 1e9)
+	}
+	m.lastPauseNs = ms.PauseTotalNs
+	if ms.NumGC >= m.lastGCs {
+		m.gcCycles.Add(float64(ms.NumGC - m.lastGCs))
+	}
+	m.lastGCs = ms.NumGC
+	m.mu.Unlock()
+}
+
+// Handler wraps a metrics handler (typically Registry.Handler) so every
+// scrape sees freshly sampled runtime numbers.
+func (m *RuntimeMetrics) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.Collect()
+		next.ServeHTTP(w, r)
+	})
+}

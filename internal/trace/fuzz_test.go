@@ -1,0 +1,36 @@
+package trace
+
+import "testing"
+
+// FuzzTraceparentParse pins three properties of the header parser
+// against hostile input: it never panics, anything it accepts
+// round-trips (render → re-parse → identical SpanContext with valid
+// non-zero IDs), and anything it rejects would make the receiver start
+// a fresh trace rather than propagate garbage.
+func FuzzTraceparentParse(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-suffix")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("")
+	f.Add("garbage")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, ok := ParseTraceparent(s)
+		if !ok {
+			return
+		}
+		if !sc.IsValid() {
+			t.Fatalf("accepted %q with invalid IDs: %+v", s, sc)
+		}
+		rendered := sc.Traceparent()
+		back, ok2 := ParseTraceparent(rendered)
+		if !ok2 {
+			t.Fatalf("re-parse of rendered %q (from %q) failed", rendered, s)
+		}
+		if back != sc {
+			t.Fatalf("round trip mismatch: %q -> %+v -> %q -> %+v", s, sc, rendered, back)
+		}
+	})
+}

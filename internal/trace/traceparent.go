@@ -1,0 +1,156 @@
+package trace
+
+// W3C Trace Context (traceparent) wire format, version 00:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^^ ^^ parent-id ^^^^ ^^ flags
+//
+// Parsing is allocation-free: the serving path reads the header on
+// every request, and an unsampled request must not pay for tracing
+// (see DESIGN.md §11). Hostile input never panics — FuzzTraceparentParse
+// pins that — and an invalid header simply fails to parse, which makes
+// the receiver start a fresh trace instead of trusting garbage.
+
+// TraceID is the 16-byte W3C trace identifier shared by every span of
+// one distributed trace, across processes.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identifier of one span.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(dst []byte, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0x0f])
+	}
+	return dst
+}
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string {
+	var b [32]byte
+	return string(appendHex(b[:0], t[:]))
+}
+
+// String renders the span ID as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	var b [16]byte
+	return string(appendHex(b[:0], s[:]))
+}
+
+// SpanContext is the propagated slice of a trace: which trace a request
+// belongs to, which span caused it, and whether the caller sampled it.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// IsValid reports whether both IDs are non-zero, as the W3C spec
+// requires of a usable traceparent.
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// traceparentLen is the exact length of a version-00 traceparent value.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// Traceparent renders sc as a version-00 traceparent header value.
+func (sc SpanContext) Traceparent() string {
+	b := make([]byte, 0, traceparentLen)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = appendHex(b, sc.SpanID[:])
+	b = append(b, '-', '0')
+	if sc.Sampled {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	return string(b)
+}
+
+// hexNibble decodes one lowercase-or-uppercase hex digit; ok is false
+// for anything else.
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// parseHex decodes len(dst)*2 hex digits from s into dst.
+func parseHex(dst []byte, s string) bool {
+	if len(s) != len(dst)*2 {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexNibble(s[2*i])
+		lo, ok2 := hexNibble(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header value without
+// allocating. It returns ok=false — never panics — on malformed input:
+// wrong field lengths or separators, non-hex digits, the invalid
+// version 0xff, or all-zero trace/span IDs. Per the spec, versions
+// above 00 are accepted when the version-00 prefix parses and any extra
+// content is separated by a dash; callers treat a failed parse as "no
+// inbound trace" and start a fresh one.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) < traceparentLen {
+		return sc, false
+	}
+	vhi, ok1 := hexNibble(s[0])
+	vlo, ok2 := hexNibble(s[1])
+	if !ok1 || !ok2 {
+		return sc, false
+	}
+	version := vhi<<4 | vlo
+	if version == 0xff {
+		return sc, false
+	}
+	if version == 0 {
+		if len(s) != traceparentLen {
+			return sc, false
+		}
+	} else if len(s) > traceparentLen && s[traceparentLen] != '-' {
+		return sc, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, false
+	}
+	if !parseHex(sc.TraceID[:], s[3:35]) {
+		return sc, false
+	}
+	if !parseHex(sc.SpanID[:], s[36:52]) {
+		return sc, false
+	}
+	fhi, ok1 := hexNibble(s[53])
+	flo, ok2 := hexNibble(s[54])
+	if !ok1 || !ok2 {
+		return sc, false
+	}
+	if !sc.IsValid() {
+		return sc, false
+	}
+	sc.Sampled = (fhi<<4|flo)&0x01 != 0
+	return sc, true
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	sc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	if got := sc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %q", got)
+	}
+	if got := sc.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span ID = %q", got)
+	}
+	if !sc.Sampled {
+		t.Error("sampled flag not set")
+	}
+}
+
+func TestParseTraceparentUnsampled(t *testing.T) {
+	sc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if !ok || sc.Sampled {
+		t.Fatalf("ok=%v sampled=%v, want ok unsampled", ok, sc.Sampled)
+	}
+	// Only bit 0 is the sampled flag; 0x02 alone is unsampled.
+	sc, ok = ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-02")
+	if !ok || sc.Sampled {
+		t.Fatalf("flags 02: ok=%v sampled=%v, want ok unsampled", ok, sc.Sampled)
+	}
+}
+
+func TestParseTraceparentUppercaseHex(t *testing.T) {
+	sc, ok := ParseTraceparent("00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01")
+	if !ok {
+		t.Fatal("uppercase hex rejected")
+	}
+	if got := sc.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %q", got)
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Versions above 00 are accepted when the base layout parses, with
+	// or without dash-separated extra content.
+	for _, v := range []string{
+		"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra-stuff",
+	} {
+		if _, ok := ParseTraceparent(v); !ok {
+			t.Errorf("future version rejected: %q", v)
+		}
+	}
+	// Version 00 must be exactly 55 bytes; extra content is invalid.
+	if _, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x"); ok {
+		t.Error("version 00 with trailer accepted")
+	}
+	// Future version with extra content not dash-separated is invalid.
+	if _, ok := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x"); ok {
+		t.Error("future version with undelimited trailer accepted")
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff forbidden
+		"0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span ID
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", // non-hex trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01", // non-hex span ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g", // non-hex flags
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // wrong separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01", // wrong separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7_01", // wrong separator
+		strings.Repeat("0", traceparentLen),                       // no separators at all
+	}
+	for _, v := range cases {
+		if sc, ok := ParseTraceparent(v); ok {
+			t.Errorf("accepted invalid %q -> %+v", v, sc)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	orig := SpanContext{
+		TraceID: TraceID{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6, 0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36},
+		SpanID:  SpanID{0x00, 0xf0, 0x67, 0xaa, 0x0b, 0xa9, 0x02, 0xb7},
+		Sampled: true,
+	}
+	rendered := orig.Traceparent()
+	if len(rendered) != traceparentLen {
+		t.Fatalf("rendered length %d, want %d", len(rendered), traceparentLen)
+	}
+	back, ok := ParseTraceparent(rendered)
+	if !ok || back != orig {
+		t.Fatalf("round trip: ok=%v got %+v want %+v", ok, back, orig)
+	}
+
+	orig.Sampled = false
+	back, ok = ParseTraceparent(orig.Traceparent())
+	if !ok || back != orig {
+		t.Fatalf("unsampled round trip: ok=%v got %+v want %+v", ok, back, orig)
+	}
+}
+
+func TestParseTraceparentNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	const v = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, ok := ParseTraceparent(v); !ok {
+			t.Fatal("parse failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ParseTraceparent allocates %.1f/op, want 0", allocs)
+	}
+}
