@@ -15,10 +15,11 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis (lockheld, respwrite, ctxflow,
-# floatsentinel, sleeptest). Part of the verify gate; also runnable
-# standalone.
+# floatsentinel, sleeptest, spanend, allochot, goroleak, atomicmix).
+# Part of the verify gate; also runnable standalone. -timing reports
+# the load/analyze split so CI regressions in wall time are visible.
 p4pvet:
-	$(GO) run ./cmd/p4pvet ./...
+	$(GO) run ./cmd/p4pvet -timing ./...
 
 # Tier-1 verification gate (see ROADMAP.md).
 verify:
@@ -30,6 +31,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFromWire$$' -fuzztime 10s ./internal/portal
 	$(GO) test -run '^$$' -fuzz '^FuzzExpositionParse$$' -fuzztime 10s ./internal/telemetry
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceparentParse$$' -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzIgnoreDirective$$' -fuzztime 10s ./internal/analysis
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -173,6 +173,7 @@ func main() {
 
 	// Warm the view in the background so /readyz flips as soon as the
 	// portal answers, without blocking startup when it is down.
+	//p4pvet:ignore goroleak one-shot warmup; ViewFor returns once the portal client's per-attempt timeouts and bounded retries run out
 	go views.ViewFor(0)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -111,6 +111,7 @@ func main() {
 			handler = m
 		}
 		srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		//p4pvet:ignore goroleak Serve returns when the deferred srv.Close below tears down the listener at end of run
 		go srv.Serve(ln)
 		defer srv.Close()
 		target = "http://" + ln.Addr().String()

@@ -41,6 +41,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := &http.Server{Handler: portal.NewHandler(tr)}
+	//p4pvet:ignore goroleak demo server; Serve returns when the deferred srv.Close tears down the listener
 	go func() {
 		if err := srv.Serve(ln); err != http.ErrServerClosed {
 			log.Fatal(err)

@@ -14,6 +14,17 @@
 //     flaky-under-race test class).
 //   - spanend: every *Span assigned from a Start* call is ended on
 //     all paths (a leaked span silently drops its trace subtree).
+//   - allochot: functions annotated //p4p:hotpath — and everything
+//     statically reachable from them in the module call graph, minus
+//     //p4p:coldpath cuts — must be allocation-free.
+//   - goroleak: every go statement carries a termination witness
+//     (context plumbed in, WaitGroup.Done, or a channel signal).
+//   - atomicmix: a field or variable accessed through sync/atomic is
+//     never read or written plainly anywhere in the module.
+//
+// lockheld additionally runs an interprocedural pass over the module
+// call graph: a mutex held across a call whose callee transitively
+// blocks is reported with the full call chain.
 //
 // Findings can be suppressed, one rule at a time, with a mandatory
 // reason:
@@ -44,16 +55,22 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
 }
 
-// Analyzer is one named check over a typechecked package.
+// Analyzer is one named check. Run (if set) inspects one typechecked
+// unit at a time; RunModule (if set) inspects the whole module at once
+// with the call graph available. An analyzer may implement either or
+// both — lockheld does both: its intraprocedural pass reports direct
+// blocking calls per package, its module pass adds transitive ones.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Pkg) []Finding
+	Name      string
+	Doc       string
+	Run       func(p *Pkg) []Finding
+	RunModule func(m *Module) []Finding
 }
 
 // Analyzers returns every registered analyzer, in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockHeld, RespWrite, CtxFlow, FloatSentinel, SleepTest, SpanEnd}
+	return []*Analyzer{LockHeld, RespWrite, CtxFlow, FloatSentinel, SleepTest, SpanEnd,
+		AllocHot, GoroLeak, AtomicMix}
 }
 
 // suppressRule names the pseudo-rule under which malformed
@@ -97,28 +114,13 @@ func ParseSuppressions(p *Pkg) (*Suppressions, []Finding) {
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, ignoreMarker)
+				rule, errMsg, ok := parseIgnoreDirective(c.Text, known)
 				if !ok {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					bad = append(bad, Finding{Pos: pos, Rule: suppressRule,
-						Msg: "p4pvet:ignore needs a rule name and a reason"})
-					continue
-				}
-				rule := fields[0]
-				if !known[rule] {
-					bad = append(bad, Finding{Pos: pos, Rule: suppressRule,
-						Msg: fmt.Sprintf("p4pvet:ignore names unknown rule %q", rule)})
-					continue
-				}
-				if len(fields) < 2 {
-					bad = append(bad, Finding{Pos: pos, Rule: suppressRule,
-						Msg: fmt.Sprintf("p4pvet:ignore %s is missing its mandatory reason", rule)})
+				if errMsg != "" {
+					bad = append(bad, Finding{Pos: pos, Rule: suppressRule, Msg: errMsg})
 					continue
 				}
 				lines := s.byLine[pos.Filename]
@@ -136,6 +138,33 @@ func ParseSuppressions(p *Pkg) (*Suppressions, []Finding) {
 	return s, bad
 }
 
+// parseIgnoreDirective parses one comment's text as a p4pvet:ignore
+// directive. ok is false when the comment is not a directive at all.
+// For directives, errMsg is non-empty when the directive is malformed
+// (no rule, unknown rule, or missing reason) and describes why;
+// otherwise rule names the validated suppressed rule. This is the unit
+// the FuzzIgnoreDirective target exercises.
+func parseIgnoreDirective(comment string, known map[string]bool) (rule, errMsg string, ok bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignoreMarker)
+	if !ok {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "p4pvet:ignore needs a rule name and a reason", true
+	}
+	rule = fields[0]
+	if !known[rule] {
+		return "", fmt.Sprintf("p4pvet:ignore names unknown rule %q", rule), true
+	}
+	if len(fields) < 2 {
+		return "", fmt.Sprintf("p4pvet:ignore %s is missing its mandatory reason", rule), true
+	}
+	return rule, "", true
+}
+
 // RunAll runs the given analyzers over a package and applies its
 // suppressions, returning the live findings and the count of
 // suppressed ones. Malformed suppressions are appended as "suppress"
@@ -144,6 +173,9 @@ func RunAll(p *Pkg, analyzers []*Analyzer) (kept []Finding, suppressed int) {
 	sup, bad := ParseSuppressions(p)
 	var all []Finding
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		all = append(all, a.Run(p)...)
 	}
 	for _, f := range all {
@@ -154,8 +186,51 @@ func RunAll(p *Pkg, analyzers []*Analyzer) (kept []Finding, suppressed int) {
 		kept = append(kept, f)
 	}
 	kept = append(kept, bad...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	SortFindings(kept)
+	return kept, suppressed
+}
+
+// RunModuleAll runs the module-wide passes of the given analyzers over
+// one module, applying the union of every unit's suppressions (a
+// module finding lands in some unit's file, so its ignore comment
+// lives there too). Malformed suppressions are NOT re-reported here —
+// RunAll already owns that per unit.
+func RunModuleAll(m *Module, analyzers []*Analyzer) (kept []Finding, suppressed int) {
+	sups := make([]*Suppressions, 0, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		s, _ := ParseSuppressions(p)
+		sups = append(sups, s)
+	}
+	var all []Finding
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		all = append(all, a.RunModule(m)...)
+	}
+	for _, f := range all {
+		sup := false
+		for _, s := range sups {
+			if s.Suppressed(f) {
+				sup = true
+				break
+			}
+		}
+		if sup {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	SortFindings(kept)
+	return kept, suppressed
+}
+
+// sortFindings orders findings by file, then line, then rule, the
+// order every driver and test relies on.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -164,7 +239,6 @@ func RunAll(p *Pkg, analyzers []*Analyzer) (kept []Finding, suppressed int) {
 		}
 		return a.Rule < b.Rule
 	})
-	return kept, suppressed
 }
 
 // inspectSkippingFuncLits walks n, calling fn for every node, but does

@@ -50,10 +50,11 @@ func wantMarkers(pkgs []*Pkg) map[string]bool {
 	return want
 }
 
-// TestAnalyzersOnFixtures runs every analyzer over each fixture
-// package and requires the surviving findings to match the fixture's
-// // want markers exactly — every bad pattern fires, every good
-// pattern stays silent, in both directions.
+// TestAnalyzersOnFixtures runs every analyzer — both the per-unit
+// passes and the module-wide ones, with each fixture treated as its own
+// mini-module — over each fixture package and requires the surviving
+// findings to match the fixture's // want markers exactly: every bad
+// pattern fires, every good pattern stays silent, in both directions.
 func TestAnalyzersOnFixtures(t *testing.T) {
 	cases := []struct {
 		name string
@@ -62,12 +63,16 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		extra []string
 	}{
 		{name: "lockheld"},
+		{name: "lockheldip"},
 		{name: "respwrite"},
 		{name: "ctxflow"},
 		{name: "ctxmain"},
 		{name: "floatsentinel"},
 		{name: "sleeptest"},
 		{name: "spanend"},
+		{name: "allochot"},
+		{name: "goroleak"},
+		{name: "atomicmix"},
 		{name: "suppress", extra: []string{
 			"suppress.go:21 suppress",
 			"suppress.go:27 suppress",
@@ -86,6 +91,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 				for _, f := range kept {
 					got[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] = true
 				}
+			}
+			modKept, _ := RunModuleAll(NewModule(pkgs), Analyzers())
+			for _, f := range modKept {
+				got[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] = true
 			}
 			for k := range want {
 				if !got[k] {

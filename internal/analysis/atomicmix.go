@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces all-or-nothing atomicity: a struct field or
+// package-level variable accessed through sync/atomic anywhere in the
+// module must never be read or written plainly anywhere else. Mixing
+// the two is a data race the race detector only catches when the
+// interleaving actually happens; statically it is always wrong.
+//
+// Two classes of atomics are tracked module-wide:
+//
+//   - untyped atomics: a field/var passed by address to an atomic
+//     function (atomic.AddUint64(&s.n, 1)). Every other appearance of
+//     that field/var that is not an atomic call argument is flagged.
+//   - typed atomics (atomic.Uint64, atomic.Pointer[T], ...): the type
+//     itself is the declaration of intent, so uses are fine only as
+//     method-call receivers or under & (handing the atomic to a
+//     helper); copying the value reads it plainly and is flagged.
+//
+// Identity is by declaration position, which survives the two
+// type-checking universes (direct check vs. source importer) because
+// all units share one FileSet. Only named struct fields and
+// package-level variables are tracked; locals are single-goroutine by
+// construction unless captured, which goroleak's territory covers.
+var AtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "fields accessed via sync/atomic must never be accessed plainly",
+	RunModule: runAtomicMix,
+}
+
+func runAtomicMix(m *Module) []Finding {
+	// Pass 1: find every field/var used atomically, keyed by decl
+	// position.
+	atomicObjs := map[string]string{} // decl position -> display name
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil || funcPkgPath(fn) != "sync/atomic" || isMethod(fn) {
+					return true
+				}
+				for _, a := range call.Args {
+					un, ok := ast.Unparen(a).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if obj := targetObject(p, un.X); obj != nil {
+						atomicObjs[position(p.Fset, obj.Pos())] = obj.Name()
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	seen := map[string]bool{}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			out = append(out, scanAtomicUses(p, f, atomicObjs, seen)...)
+		}
+	}
+	return out
+}
+
+// targetObject resolves the field or package-level variable an
+// expression denotes, or nil for anything else (locals, indexing).
+func targetObject(p *Pkg, e ast.Expr) types.Object {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	// Package-level variable: its parent scope is the package scope.
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed
+// wrappers (atomic.Uint64, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// scanAtomicUses flags plain accesses in one file: uses of
+// untyped-atomic objects outside atomic call arguments, and value
+// copies of typed atomics.
+func scanAtomicUses(p *Pkg, f *ast.File, atomicObjs map[string]string, seen map[string]bool) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		position := p.Fset.Position(pos)
+		key := fmt.Sprintf("%s|%s", position, msg)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Finding{Pos: position, Rule: "atomicmix", Msg: msg})
+	}
+
+	// ok marks expression nodes whose use of an atomic object is
+	// legitimate: atomic call arguments, method receivers, &-operands.
+	okNodes := map[ast.Node]bool{}
+	markOK := func(e ast.Expr) {
+		for {
+			okNodes[e] = true
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(p, n); fn != nil && funcPkgPath(fn) == "sync/atomic" {
+				if !isMethod(fn) {
+					// atomic.AddUint64(&x.f, 1): the &arg is the
+					// sanctioned access.
+					for _, a := range n.Args {
+						if un, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && un.Op == token.AND {
+							markOK(un.X)
+						}
+					}
+				} else {
+					// x.f.Store(v): the receiver selector is sanctioned.
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						markOK(sel.X)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// &x.f where f is a typed atomic: passing the atomic by
+			// pointer is fine (the callee uses its methods).
+			if n.Op == token.AND {
+				if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil && isAtomicType(tv.Type) {
+					markOK(n.X)
+				}
+			}
+		}
+
+		// Judge this node itself if it denotes a tracked object.
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.SelectorExpr:
+			// The whole selector is the access; its .Sel ident resolves
+			// to the same object and must not be judged twice.
+			okNodes[e.Sel] = true
+		case *ast.Ident:
+		default:
+			return true
+		}
+		if okNodes[e] {
+			return true
+		}
+		obj := targetObject(p, e)
+		if obj == nil {
+			return true
+		}
+		if isAtomicType(obj.Type()) {
+			report(e.Pos(), fmt.Sprintf("%s has an atomic type; copying its value bypasses the atomic API (call its methods on the field directly)", obj.Name()))
+			return true
+		}
+		declPos := position(p.Fset, obj.Pos())
+		if name, tracked := atomicObjs[declPos]; tracked {
+			report(e.Pos(), fmt.Sprintf("%s is accessed with sync/atomic elsewhere; this plain access races with it", name))
+		}
+		return true
+	})
+	return out
+}

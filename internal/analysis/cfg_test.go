@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses body as the statements of a function and builds
+// its control-flow graph.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package x\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// TestBuildCFG pins the block structure of every statement shape the
+// builder handles, via the String rendering ("index:kind -> succs").
+// Entry is always block 0 and Exit block 1.
+func TestBuildCFG(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "straight line",
+			body: "a()\nb()",
+			want: "0:entry -> 1\n1:exit\n",
+		},
+		{
+			name: "if else",
+			body: "if c {\n\ta()\n} else {\n\tb()\n}\nd()",
+			want: "0:entry -> 2,4\n" +
+				"1:exit\n" +
+				"2:if.then -> 3\n" +
+				"3:if.done -> 1\n" +
+				"4:if.else -> 3\n",
+		},
+		{
+			name: "if without else",
+			body: "if c {\n\ta()\n}\nb()",
+			want: "0:entry -> 2,3\n" +
+				"1:exit\n" +
+				"2:if.then -> 3\n" +
+				"3:if.done -> 1\n",
+		},
+		{
+			name: "early return",
+			body: "if c {\n\treturn\n}\na()",
+			want: "0:entry -> 2,4\n" +
+				"1:exit\n" +
+				"2:if.then -> 1\n" +
+				"3:unreachable -> 4\n" +
+				"4:if.done -> 1\n",
+		},
+		{
+			name: "for with break and continue",
+			body: "for i := 0; i < n; i++ {\n" +
+				"\tif i == 3 {\n\t\tbreak\n\t}\n" +
+				"\tif i == 1 {\n\t\tcontinue\n\t}\n" +
+				"\ta()\n}\nb()",
+			want: "0:entry -> 2\n" +
+				"1:exit\n" +
+				"2:for.head -> 3,5\n" +
+				"3:for.done -> 1\n" +
+				"4:for.post -> 2\n" +
+				"5:for.body -> 6,8\n" +
+				"6:if.then -> 3\n" +
+				"7:unreachable -> 8\n" +
+				"8:if.done -> 9,11\n" +
+				"9:if.then -> 4\n" +
+				"10:unreachable -> 11\n" +
+				"11:if.done -> 4\n",
+		},
+		{
+			name: "conditionless for never reaches done",
+			body: "for {\n\ta()\n}",
+			want: "0:entry -> 2\n" +
+				"1:exit\n" +
+				"2:for.head -> 4\n" +
+				"3:for.done -> 1\n" +
+				"4:for.body -> 2\n",
+		},
+		{
+			name: "range",
+			body: "for _, v := range xs {\n\ta(v)\n}\nb()",
+			want: "0:entry -> 2\n" +
+				"1:exit\n" +
+				"2:range.head -> 3,4\n" +
+				"3:range.done -> 1\n" +
+				"4:range.body -> 2\n",
+		},
+		{
+			name: "switch with fallthrough and default",
+			body: "switch x {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}\nd()",
+			want: "0:entry -> 3,4,5\n" +
+				"1:exit\n" +
+				"2:switch.done -> 1\n" +
+				"3:case -> 4\n" +
+				"4:case -> 2\n" +
+				"5:case -> 2\n",
+		},
+		{
+			name: "switch without default can skip every case",
+			body: "switch x {\ncase 1:\n\ta()\n}",
+			want: "0:entry -> 2,3\n" +
+				"1:exit\n" +
+				"2:switch.done -> 1\n" +
+				"3:case -> 2\n",
+		},
+		{
+			name: "select without default has no fall-through edge",
+			body: "select {\ncase v := <-ch:\n\ta(v)\ncase ch2 <- 1:\n\tb()\n}\nc()",
+			want: "0:entry -> 3,4\n" +
+				"1:exit\n" +
+				"2:select.done -> 1\n" +
+				"3:comm -> 2\n" +
+				"4:comm -> 2\n",
+		},
+		{
+			name: "defer chains off exit, panic exits",
+			body: "defer a()\nif c {\n\tpanic(\"boom\")\n}\nb()",
+			want: "0:entry -> 2,4\n" +
+				"1:exit -> 5\n" +
+				"2:if.then -> 1\n" +
+				"3:unreachable -> 4\n" +
+				"4:if.done -> 1\n" +
+				"5:defer\n",
+		},
+		{
+			name: "lifo defers",
+			body: "defer a()\ndefer b()\nc()",
+			want: "0:entry -> 1\n" +
+				"1:exit -> 2\n" +
+				"2:defer -> 3\n" +
+				"3:defer\n",
+		},
+		{
+			name: "goto and labeled break",
+			body: "loop:\n\tfor {\n\t\tif c {\n\t\t\tbreak loop\n\t\t}\n\t\tgoto out\n\t}\nout:\n\ta()",
+			want: "0:entry -> 2\n" +
+				"1:exit\n" +
+				"2:label.loop -> 3\n" +
+				"3:for.head -> 5\n" +
+				"4:for.done -> 10\n" +
+				"5:for.body -> 6,8\n" +
+				"6:if.then -> 4\n" +
+				"7:unreachable -> 8\n" +
+				"8:if.done -> 10\n" +
+				"9:unreachable -> 3\n" +
+				"10:label.out -> 1\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := buildTestCFG(t, tc.body).String()
+			if got != tc.want {
+				t.Errorf("CFG mismatch\n got:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSolveJoins checks that Solve merges facts flowing in over
+// multiple edges and converges on a cyclic graph: shortest hop count
+// from node 1 over edges with a cycle.
+func TestSolveJoins(t *testing.T) {
+	edges := map[int][]int{1: {2, 3}, 2: {4}, 3: {4}, 4: {2, 5}}
+	dist := Solve(map[int]int{1: 0},
+		func(n int) []int { return edges[n] },
+		func(_ int, cur int, ok bool, _ int, fact int) (int, bool) {
+			if ok && cur <= fact+1 {
+				return cur, false
+			}
+			return fact + 1, true
+		},
+		func(a, b int) bool { return a < b })
+	want := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 5: 3}
+	if len(dist) != len(want) {
+		t.Fatalf("dist = %v, want %v", dist, want)
+	}
+	for n, d := range want {
+		if dist[n] != d {
+			t.Errorf("dist[%d] = %d, want %d", n, dist[n], d)
+		}
+	}
+}
+
+// TestReachableWitness checks the parent map: seeds map to themselves
+// and every reached node's chain walks back to a seed.
+func TestReachableWitness(t *testing.T) {
+	edges := map[string][]string{"root": {"a"}, "a": {"b"}, "b": {"a"}, "x": {"y"}}
+	parent := Reachable([]string{"root"},
+		func(n string) []string { return edges[n] },
+		func(a, b string) bool { return a < b })
+	if parent["root"] != "root" {
+		t.Errorf("seed parent = %q, want itself", parent["root"])
+	}
+	if parent["a"] != "root" || parent["b"] != "a" {
+		t.Errorf("parents = %v, want a<-root, b<-a", parent)
+	}
+	if _, ok := parent["x"]; ok {
+		t.Errorf("unreachable node x has a parent")
+	}
+	if _, ok := parent["y"]; ok {
+		t.Errorf("unreachable node y has a parent")
+	}
+}

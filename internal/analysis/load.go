@@ -11,8 +11,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Pkg is one typechecked unit handed to the analyzers: a package's
@@ -48,7 +50,24 @@ type Loader struct {
 func NewLoader() *Loader {
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{fset: fset, imp: &lockedImporter{imp: importer.ForCompiler(fset, "source", nil)}}
+}
+
+// lockedImporter serializes Import calls: the go/importer "source"
+// importer type-checks dependencies on demand and is not safe for
+// concurrent use. Wrapping it in a mutex makes one Loader shareable
+// across the parallel driver's workers while the importer's internal
+// cache still checks each dependency only once. The shared FileSet is
+// safe without help (token.FileSet synchronizes internally).
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
 }
 
 // LoadDir parses and typechecks the package in dir under the given
@@ -221,9 +240,66 @@ func (l *Loader) LoadModule(root string) ([]*Pkg, error) {
 // LoadTree loads every package directory under start, resolving import
 // paths against the module rooted at root.
 func (l *Loader) LoadTree(root, start string) ([]*Pkg, error) {
-	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	return l.LoadTreeParallel(root, start, 1)
+}
+
+// LoadTreeParallel is LoadTree across a bounded worker pool (the
+// experiments.forEachCell shape): each package directory is parsed and
+// typechecked on one of `workers` goroutines, with 0 meaning
+// GOMAXPROCS. Results come back in sorted directory order regardless
+// of completion order, so diagnostic output stays deterministic.
+func (l *Loader) LoadTreeParallel(root, start string, workers int) ([]*Pkg, error) {
+	modPath, dirs, err := moduleDirs(root, start)
 	if err != nil {
 		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	results := make([][]*Pkg, len(dirs))
+	errs := make([]error, len(dirs))
+	if workers <= 1 {
+		for i, dir := range dirs {
+			results[i], errs[i] = l.loadDirAt(modPath, root, dir)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = l.loadDirAt(modPath, root, dirs[i])
+				}
+			}()
+		}
+		for i := range dirs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var pkgs []*Pkg
+	for i := range dirs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		pkgs = append(pkgs, results[i]...)
+	}
+	return pkgs, nil
+}
+
+// moduleDirs walks the tree under start, returning the module path and
+// the sorted package directory candidates (testdata, hidden, and
+// underscore directories skipped).
+func moduleDirs(root, start string) (string, []string, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", nil, err
 	}
 	var dirs []string
 	err = filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
@@ -241,26 +317,23 @@ func (l *Loader) LoadTree(root, start string) ([]*Pkg, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Pkg
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(root, dir)
-		if err != nil {
-			return nil, err
-		}
-		importPath := modPath
-		if rel != "." {
-			importPath = modPath + "/" + filepath.ToSlash(rel)
-		}
-		got, err := l.LoadDir(dir, importPath)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, got...)
+	return modPath, dirs, nil
+}
+
+// loadDirAt loads one directory with its module-relative import path.
+func (l *Loader) loadDirAt(modPath, root, dir string) ([]*Pkg, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
 	}
-	return pkgs, nil
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.LoadDir(dir, importPath)
 }
 
 // modulePath reads the module path from a go.mod file.

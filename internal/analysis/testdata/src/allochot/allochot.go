@@ -1,0 +1,102 @@
+// Package allochot exercises the allochot analyzer: allocating
+// constructs inside //p4p:hotpath functions (and their call-graph
+// descendants) fire; pre-sized buffers, value literals, cold-path
+// cuts, panic arguments, and goroutine callees stay silent.
+package allochot
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+type point struct{ x, y int }
+
+type ring struct {
+	buf []int
+}
+
+type sourcer interface{ value() int }
+
+var hook func()
+
+// root is the annotated seed: every allocation below must fire.
+//
+//p4p:hotpath fixture root
+func root(ctx context.Context, w io.Writer, s sourcer, name string, n int) string {
+	m := map[string]int{"a": 1} // want allochot
+	_ = m
+	xs := []int{1, 2, 3} // want allochot
+	_ = xs
+	p := &point{x: 1, y: 2} // want allochot
+	q := point{x: 3, y: 4}  // value literal lives on the stack: silent
+	_, _ = p, q
+	f := func() int { return n } // want allochot
+	g := func() int { return 1 } // non-capturing literal: silent
+	_, _ = f, g
+	fmt.Fprintf(w, "%d", n) // want allochot
+	msg := name + "!"       // want allochot
+	hook()                  // want allochot
+	_ = s.value()           // want allochot
+	sink(n)                 // want allochot
+	sink(p)                 // pointer-shaped: no boxing, silent
+	_ = any(n)              // want allochot
+	var grown []int
+	grown = append(grown, n) // want allochot
+	presized := make([]int, 0, 8)
+	presized = append(presized, n) // pre-sized: capacity reuse, silent
+	_, _ = grown, presized
+	_ = coldFormat(name + "?") // cold cut: the call and its args are exempt
+	go spawnWork(ctx)          // goroutine callees are not on the hot path
+	return helper(msg)
+}
+
+// helper is unannotated but reachable from root, so its findings carry
+// the discovery chain.
+func helper(s string) string {
+	return fmt.Sprintf("<%s>", s) // want allochot
+}
+
+// sink's interface parameter is what root's boxing cases exercise.
+func sink(v interface{}) { _ = v }
+
+// push appends into a struct field: the reusable amortized-buffer
+// idiom stays silent even in hot code.
+//
+//p4p:hotpath fixture: field appends are the sanctioned buffer idiom
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// coldFormat is a deliberate slow path: its body is never scanned and
+// calls to it are wholly exempt.
+//
+//p4p:coldpath fixture: formatting is off the measured path
+func coldFormat(s string) string {
+	return fmt.Sprintf("[%s]", s)
+}
+
+// spawnWork allocates freely: goroutines spawned from hot code run on
+// their own schedule and do not inherit the obligation.
+func spawnWork(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	default:
+	}
+	_ = map[int]int{1: 1}
+}
+
+// offPath is not reachable from any hot root: silent.
+func offPath() []int {
+	return []int{1, 2, 3}
+}
+
+// guard's fmt call sits under panic: a panicking path is by definition
+// not the hot path.
+//
+//p4p:hotpath fixture: panic arguments are exempt
+func guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+}

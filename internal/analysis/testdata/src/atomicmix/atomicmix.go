@@ -1,0 +1,61 @@
+// Package atomicmix exercises the atomicmix analyzer: plain accesses
+// to fields and package variables used with sync/atomic fire, as do
+// value copies of typed atomics; sanctioned accesses (atomic call
+// arguments, method receivers, &-operands) and untracked fields stay
+// silent.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	drops uint64 // never touched atomically: plain access is fine
+	ptr   atomic.Pointer[counter]
+	gauge atomic.Int64
+}
+
+var total uint64
+
+func (c *counter) record() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&total, 1)
+	c.gauge.Store(5)
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want atomicmix
+}
+
+func (c *counter) readOK() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counter) dropCount() uint64 {
+	return c.drops // untracked: silent
+}
+
+func readTotal() uint64 {
+	return total // want atomicmix
+}
+
+func (c *counter) copyGauge() atomic.Int64 {
+	return c.gauge // want atomicmix
+}
+
+func (c *counter) gaugeOK() int64 {
+	return c.gauge.Load()
+}
+
+// handOff passes the atomic by pointer: the callee uses its methods.
+func (c *counter) handOff(f func(*atomic.Int64)) {
+	f(&c.gauge)
+}
+
+func (c *counter) swap(n *counter) *counter {
+	c.ptr.Store(n)
+	return c.ptr.Load()
+}
+
+func (c *counter) copyPtr() atomic.Pointer[counter] {
+	return c.ptr // want atomicmix
+}

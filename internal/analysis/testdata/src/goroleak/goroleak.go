@@ -1,0 +1,120 @@
+// Package goroleak exercises the goroleak analyzer: go statements
+// without a termination witness fire; context plumbing, WaitGroup
+// ties, channel ranges, completion closes, and bounded sends stay
+// silent.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func compute() int { return 1 }
+
+// leak spawns a goroutine with no witness at all.
+func leak() {
+	go func() { // want goroleak
+		work()
+	}()
+}
+
+// leakNamed spawns a named function without a context argument; the
+// analysis does not chase the callee's body.
+func leakNamed() {
+	go work() // want goroleak
+}
+
+// goodCtx references the plumbed context.
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// goodNamedCtx hands a named function a context.
+func goodNamedCtx(ctx context.Context) {
+	go runWithCtx(ctx)
+}
+
+func runWithCtx(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// goodWG ties the goroutine's lifetime to a WaitGroup.
+func goodWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// goodRange is the worker-pool shape: the goroutine exits when the
+// channel is closed.
+func goodRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// goodDeferClose signals completion with a deferred close, covering
+// every path by construction.
+func goodDeferClose() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// goodBranchClose closes on every CFG path through the body.
+func goodBranchClose(fast bool) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		if fast {
+			close(done)
+			return
+		}
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// leakPartialClose closes on only one branch: a receiver blocked on
+// done can wait forever.
+func leakPartialClose(fast bool) chan struct{} {
+	done := make(chan struct{})
+	go func() { // want goroleak
+		if fast {
+			close(done)
+			return
+		}
+		work()
+	}()
+	return done
+}
+
+// goodBoundedSend is the one-shot result-channel shape: the buffered
+// send always completes, so the goroutine ends.
+func goodBoundedSend() chan int {
+	res := make(chan int, 1)
+	go func() {
+		res <- compute()
+	}()
+	return res
+}
+
+// leakUnbufferedSend can block forever if the receiver leaves.
+func leakUnbufferedSend() chan int {
+	res := make(chan int)
+	go func() { // want goroleak
+		res <- compute()
+	}()
+	return res
+}

@@ -62,9 +62,35 @@ func (s *store) goodBranch(w io.Writer, fast bool) {
 	}
 	n := len(s.data)
 	s.mu.Unlock()
-	go func() {
+	go func() { // want goroleak
 		io.WriteString(w, "released")
 	}()
 	_ = n
 	io.WriteString(w, "slow")
+}
+
+// badDeferredBranch defers the unlock inside a conditional. The defer
+// does not release anything until the function returns, so the write
+// below still runs with the mutex held — the false negative the
+// deferred-held tracking exists to catch.
+func (s *store) badDeferredBranch(w io.Writer, fast bool) error {
+	s.mu.Lock()
+	if fast {
+		defer s.mu.Unlock()
+	} else {
+		defer s.mu.Unlock()
+	}
+	return json.NewEncoder(w).Encode(s.data) // want lockheld
+}
+
+// goodDeferredBranch defers the unlock inside a conditional but does
+// nothing blocking before returning.
+func (s *store) goodDeferredBranch(fast bool) int {
+	s.mu.Lock()
+	if fast {
+		defer s.mu.Unlock()
+		return len(s.data)
+	}
+	defer s.mu.Unlock()
+	return -len(s.data)
 }

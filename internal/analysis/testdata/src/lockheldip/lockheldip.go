@@ -1,0 +1,53 @@
+// Package lockheldip exercises lockheld's interprocedural pass: a
+// mutex held across a call whose callee transitively blocks — here two
+// hops from the I/O — is reported with the full call chain. The same
+// helpers called after release, and non-blocking helpers called under
+// the lock, stay silent.
+package lockheldip
+
+import (
+	"io"
+	"sync"
+)
+
+type server struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+// flush holds the lock across persist, which reaches io.Copy two calls
+// down: flush -> persist -> copyOut -> io.Copy.
+func (s *server) flush(dst io.Writer, src io.Reader) {
+	s.mu.Lock()
+	s.persist(dst, src) // want lockheld
+	s.mu.Unlock()
+}
+
+func (s *server) persist(dst io.Writer, src io.Reader) {
+	s.copyOut(dst, src)
+}
+
+func (s *server) copyOut(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src)
+}
+
+// flushUnlocked calls the same blocking helper after releasing the
+// lock: silent.
+func (s *server) flushUnlocked(dst io.Writer, src io.Reader) {
+	s.mu.Lock()
+	n := len(s.data)
+	s.mu.Unlock()
+	_ = n
+	s.persist(dst, src)
+}
+
+// bump calls a helper that never blocks: fine under the lock.
+func (s *server) bump(k string) {
+	s.mu.Lock()
+	s.inc(k)
+	s.mu.Unlock()
+}
+
+func (s *server) inc(k string) {
+	s.data[k]++
+}

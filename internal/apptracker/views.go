@@ -190,6 +190,8 @@ func (p *PortalViews) failureBackoff() time.Duration {
 
 // ViewFor implements ViewProvider. The ASN argument is unused: one
 // PortalViews speaks for the one iTracker its client points at.
+//
+//p4p:coldpath the refresh slow path (network fetch, tracing, logging) dominates this function; the held-view fast path is a mutex check and a pointer return
 func (p *PortalViews) ViewFor(asn int) DistanceView {
 	now := p.now()
 	p.mu.Lock()
@@ -273,6 +275,8 @@ var errNoBatchSource = errors.New("apptracker: no cached view covers the pairs a
 // endpoint (many pairs per request, no square matrix on the wire) when
 // no held view covers the requested PIDs. Unreachable pairs come back
 // as +Inf, mirroring core.View.
+//
+//p4p:hotpath held-view branch backs the portal batch endpoint's serving path
 func (p *PortalViews) BatchDistances(ctx context.Context, pairs []portal.PIDPair) ([]float64, error) {
 	if len(pairs) == 0 {
 		return nil, nil
@@ -296,6 +300,7 @@ func (p *PortalViews) BatchDistances(ctx context.Context, pairs []portal.PIDPair
 		return nil, errNoBatchSource
 	}
 	span.SetAttr("source", "batch_endpoint")
+	//p4pvet:ignore allochot portal fallback is a network round-trip; its allocations are noise next to the HTTP request
 	res, err := bf.BatchDistancesContext(ctx, pairs)
 	if err != nil {
 		span.RecordError(err)

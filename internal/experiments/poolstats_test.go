@@ -3,6 +3,7 @@ package experiments
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -100,11 +101,12 @@ func TestPoolStatsNilSafe(t *testing.T) {
 	if n, err := ps.WriteTo(&strings.Builder{}); n != 0 || err != nil {
 		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
 	}
-	// Options without PoolStats takes the uninstrumented path.
-	ran := 0
-	Options{Parallelism: 2}.forEachCell(4, func(i int) { ran++ })
-	if ran != 4 {
-		t.Fatalf("ran %d cells, want 4", ran)
+	// Options without PoolStats takes the uninstrumented path. The
+	// counter is atomic: two workers run cells concurrently.
+	var ran atomic.Int32
+	Options{Parallelism: 2}.forEachCell(4, func(i int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatalf("ran %d cells, want 4", ran.Load())
 	}
 }
 

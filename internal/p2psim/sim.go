@@ -652,6 +652,7 @@ func (s *Sim) disconnect(cn *conn) {
 
 // --- rechoke ---
 
+//p4p:hotpath fires every RechokeInterval for every client; the allocation-free contract is what keeps large sweeps tractable
 func (s *Sim) handleRechoke() {
 	for _, u := range s.clients {
 		if u.joined {
@@ -756,6 +757,8 @@ func (s *Sim) rechokeClient(u *Client) {
 
 // tryStart begins a transfer u->d if u unchokes d, the connection is
 // idle in that direction, and d wants a piece u has (rarest-first).
+//
+//p4p:coldpath allocates one flow object per started transfer by design; flows are the simulation's unit of work
 func (s *Sim) tryStart(u, d *Client) {
 	cn := u.connOf[d.ID]
 	if cn == nil || d.done || !d.joined || !u.joined {
@@ -917,6 +920,7 @@ func (s *Sim) scheduleFinish(f *flow) {
 	s.push(event{t: t, kind: evFlowFinish, flow: f, seq: f.seq})
 }
 
+//p4p:hotpath fires once per transferred piece, the highest-frequency event in a run
 func (s *Sim) handleFlowFinish(f *flow) {
 	s.progressFlow(f)
 	if f.remaining > 1e-6 {
@@ -967,6 +971,7 @@ func (s *Sim) handleFlowFinish(f *flow) {
 
 // --- measurement hooks ---
 
+//p4p:hotpath fires every MeasureInterval; reuses measureBuf so steady-state sampling allocates nothing
 func (s *Sim) handleMeasure() {
 	if s.cfg.OnMeasure != nil {
 		if s.measureBuf == nil {
@@ -977,6 +982,7 @@ func (s *Sim) handleMeasure() {
 		}
 		// The buffer is reused every interval; per the Config.OnMeasure
 		// contract, callbacks copy it if they retain it.
+		//p4pvet:ignore allochot measurement callback is caller-supplied; the event loop hands it a reused buffer and cannot vouch for its body
 		s.cfg.OnMeasure(s.now, s.measureBuf)
 	}
 	if s.incomplete > 0 || s.cfg.Streaming != nil {
@@ -984,6 +990,7 @@ func (s *Sim) handleMeasure() {
 	}
 }
 
+//p4p:hotpath fires every SampleInterval on the event loop
 func (s *Sim) handleSample() {
 	s.metrics.sample(s)
 	if s.incomplete > 0 || s.cfg.Streaming != nil {

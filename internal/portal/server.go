@@ -175,6 +175,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // clean 500 error envelope instead of a truncated HTTP 200. Buffering
 // also supplies Content-Length, keeping responses out of chunked
 // transfer encoding.
+//
+//p4p:coldpath fresh JSON encode; the zero-alloc contract covers the cached byte-copy path, not per-request marshaling
 func (h *Handler) writeJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -193,6 +195,7 @@ func (h *Handler) writeJSON(w http.ResponseWriter, r *http.Request, status int, 
 	w.Write(body)
 }
 
+//p4p:coldpath error responses are off the measured serving path
 func (h *Handler) writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	if errors.Is(err, itracker.ErrAccessDenied) {
@@ -242,6 +245,8 @@ func (h *Handler) cacheFor(form string) *atomic.Pointer[respEntry] {
 
 // newRespEntry renders the headers for an encoded body once, so serving
 // the entry later formats nothing.
+//
+//p4p:coldpath runs once per (version, form) cache miss; its fmt work is the point of pre-rendering
 func (h *Handler) newRespEntry(version int, form string, body []byte) *respEntry {
 	etag := fmt.Sprintf("%q", fmt.Sprintf("%s-v%d-%s", h.bootNonce, version, form))
 	return &respEntry{
@@ -280,6 +285,11 @@ func encoderFor(form string) itracker.EncodeFunc {
 	return encodeRawView
 }
 
+// handleDistances is the steady-state serving path pinned by
+// BenchmarkPortalDistances and TestCachedDistancesAllocs: a cache hit
+// must be a byte copy.
+//
+//p4p:hotpath
 func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
 	token := r.Header.Get(tokenHeaderCanon)
 	form := "raw"
@@ -341,14 +351,17 @@ func parsePairsParam(s string) ([]PIDPair, error) {
 	for _, p := range parts {
 		dash := strings.IndexByte(p, '-')
 		if dash < 0 {
+			//p4pvet:ignore allochot error formatting runs only for malformed requests, off the measured path
 			return nil, fmt.Errorf("malformed pair %q; want src-dst", p)
 		}
 		src, err := strconv.Atoi(p[:dash])
 		if err != nil {
+			//p4pvet:ignore allochot error formatting runs only for malformed requests, off the measured path
 			return nil, fmt.Errorf("malformed pair %q: %v", p, err)
 		}
 		dst, err := strconv.Atoi(p[dash+1:])
 		if err != nil {
+			//p4pvet:ignore allochot error formatting runs only for malformed requests, off the measured path
 			return nil, fmt.Errorf("malformed pair %q: %v", p, err)
 		}
 		out = append(out, PIDPair{Src: topology.PID(src), Dst: topology.PID(dst)})
@@ -367,6 +380,7 @@ func (h *Handler) pidIndexFor(v *core.View) map[topology.PID]int {
 	for i, p := range v.PIDs {
 		idx[p] = i
 	}
+	//p4pvet:ignore allochot index entry is rebuilt once per view identity change, then hit by every batch request
 	h.batchIdx.Store(&pidIndex{view: v, idx: idx})
 	return idx
 }
@@ -375,6 +389,8 @@ func (h *Handler) pidIndexFor(v *core.View) map[topology.PID]int {
 // view as the full-matrix endpoint, without shipping the whole matrix:
 // appTrackers that poll N portals for a handful of pairs each (the
 // federation workload) stop re-downloading square matrices.
+//
+//p4p:hotpath
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	token := r.Header.Get(tokenHeaderCanon)
 	var pairs []PIDPair

@@ -18,5 +18,5 @@ go build ./...
 echo '>> go test -race ./...'
 go test -race ./...
 echo '>> p4pvet ./...'
-go run ./cmd/p4pvet ./...
+go run ./cmd/p4pvet -timing ./...
 echo 'verify: OK'
