@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"p4p/internal/apptracker"
@@ -30,8 +32,39 @@ func main() {
 		seedMbps = flag.Float64("seed-up", 1000, "initial seed upload, Mbps")
 		seed     = flag.Int64("seed", 42, "random seed")
 		joinSec  = flag.Float64("join-window", 300, "join window, seconds")
+		rateEps  = flag.Float64("rate-epsilon", 0, "bounded-staleness rate tolerance (0 = exact)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	g, err := topologyByName(*topoName)
 	if err != nil {
@@ -48,6 +81,7 @@ func main() {
 		TCPWindowBytes:   32 << 10,
 		ReselectInterval: 20,
 		SampleInterval:   2,
+		RateEpsilon:      *rateEps,
 	}
 	switch *policy {
 	case "native":

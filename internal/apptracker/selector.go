@@ -42,18 +42,36 @@ type Random struct{}
 // Name implements Selector.
 func (Random) Name() string { return "native" }
 
-// Select implements Selector.
+// Select implements Selector. It draws distinct candidates with Floyd's
+// sampling algorithm — O(m) work and memory regardless of the candidate
+// count, where the previous full-permutation draw was O(n) per call and
+// dominated join handling in large-swarm simulations. One extra round
+// covers a drawn self entry; node IDs are unique, so self is drawn at
+// most once.
 func (Random) Select(self Node, candidates []Node, m int, rng *rand.Rand) []int {
-	perm := rng.Perm(len(candidates))
-	var out []int
-	for _, i := range perm {
-		if candidates[i].ID == self.ID {
+	n := len(candidates)
+	if m > n {
+		m = n
+	}
+	if m <= 0 {
+		return nil
+	}
+	rounds := m + 1
+	if rounds > n {
+		rounds = n
+	}
+	chosen := make(map[int]struct{}, rounds)
+	out := make([]int, 0, m)
+	for j := n - rounds; j < n && len(out) < m; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		if candidates[t].ID == self.ID {
 			continue
 		}
-		out = append(out, i)
-		if len(out) == m {
-			break
-		}
+		out = append(out, t)
 	}
 	return out
 }

@@ -42,10 +42,7 @@ func runFieldPair(opt Options) *fieldPairResult {
 		{Graph: g, Routing: r, Policy: fieldtest.Native, Seed: opt.Seed},
 		{Graph: g, Routing: r, Policy: fieldtest.P4P, Seed: opt.Seed + 1},
 	}
-	results := make([]*fieldtest.Result, len(cfgs))
-	opt.forEachCell(len(cfgs), func(i int) {
-		results[i] = fieldtest.Run(cfgs[i])
-	})
+	results := fieldtest.RunMany(cfgs, opt.forEachCell)
 	res := &fieldPairResult{native: results[0], p4p: results[1]}
 	fieldCache.Store(key, res)
 	return res

@@ -457,6 +457,24 @@ func Run(cfg Config) *Result {
 	return res
 }
 
+// RunMany emulates several independent swarms and returns their results
+// in input order. Swarms share no state, so the caller may supply a
+// parallel dispatcher (typically experiments.Options' bounded worker
+// pool): forEach must invoke fn(i) exactly once for every i in [0, n),
+// in any order and from any goroutine. A nil forEach runs serially.
+// Results are identical either way — each swarm owns its rng.
+func RunMany(cfgs []Config, forEach func(n int, fn func(int))) []*Result {
+	results := make([]*Result, len(cfgs))
+	if forEach == nil {
+		for i := range cfgs {
+			results[i] = Run(cfgs[i])
+		}
+		return results
+	}
+	forEach(len(cfgs), func(i int) { results[i] = Run(cfgs[i]) })
+	return results
+}
+
 // asKind maps a bucket to the Table 2 grouping.
 func asKind(b *bucket) string {
 	if b.pid < 0 {

@@ -3,6 +3,7 @@ package fieldtest
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -248,5 +249,38 @@ func TestSampleSwarmSizeTail(t *testing.T) {
 	// Calibrated to the paper's 0.72%.
 	if pct < 0.5 || pct > 1.0 {
 		t.Fatalf("P(>100) = %v%%, want ~0.72", pct)
+	}
+}
+
+// TestRunManyMatchesSerial proves swarm sharding is observation-free:
+// dispatching independent swarms across goroutines yields results
+// deep-equal to the serial path, whatever the completion order.
+func TestRunManyMatchesSerial(t *testing.T) {
+	g := topology.ISPB()
+	r := topology.ComputeRouting(g)
+	cfgs := []Config{
+		{Graph: g, Routing: r, Policy: Native, Seed: 5, Days: 2, TotalClients: 4000},
+		{Graph: g, Routing: r, Policy: P4P, Seed: 6, Days: 2, TotalClients: 4000},
+		{Graph: g, Routing: r, Policy: P4P, Seed: 7, Days: 2, TotalClients: 4000},
+	}
+	serial := RunMany(cfgs, nil)
+	parallel := RunMany(cfgs, func(n int, fn func(int)) {
+		var wg sync.WaitGroup
+		for i := n - 1; i >= 0; i-- { // reversed order on purpose
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fn(i)
+			}(i)
+		}
+		wg.Wait()
+	})
+	if len(serial) != len(parallel) {
+		t.Fatalf("result count mismatch: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("swarm %d: parallel result differs from serial", i)
+		}
 	}
 }

@@ -85,3 +85,44 @@ func BenchmarkSimStreaming(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimHundredK exercises the million-peer-scale machinery: a
+// hundred-thousand-client swarm on Abilene with a small file, which
+// stresses the calendar queue's resize path, the struct-of-arrays
+// client state, and the O(m) tracker sampling. Runs 10k clients under
+// -short so CI can smoke it inside the time box; run it with
+// -benchtime 1x — a single run is the measurement.
+func BenchmarkSimHundredK(b *testing.B) {
+	n := 100_000
+	if testing.Short() {
+		n = 10_000
+	}
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	pids := g.AggregationPIDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{
+			Graph:     g,
+			Routing:   r,
+			Selector:  apptracker.Random{},
+			Seed:      42,
+			FileBytes: 4 << 20,
+		})
+		s.AddClient(ClientSpec{PID: pids[0], ASN: 1, UpBps: 1e9, DownBps: 1e9, IsSeed: true})
+		for j := 0; j < n; j++ {
+			s.AddClient(ClientSpec{
+				PID:     pids[j%len(pids)],
+				ASN:     1,
+				UpBps:   20e6,
+				DownBps: 50e6,
+				JoinAt:  float64(j) * 0.005,
+			})
+		}
+		res := s.Run()
+		if got := len(res.CompletionTimes()); got < n*99/100 {
+			b.Fatalf("only %d of %d clients completed", got, n)
+		}
+	}
+}

@@ -65,18 +65,19 @@ func (m *Metrics) init(cfg *Config) {
 // flush commits a finished (or settled) flow's accumulated bytes to the
 // aggregates. Ledgers are maintained incrementally in progressFlow
 // because they need the time profile, not just the total.
-func (m *Metrics) flush(s *Sim, f *flow) {
+func (m *Metrics) flush(s *Sim, f *flowS) {
 	bytes := f.moved
 	m.totalBytes += bytes
 	m.bdpSum += bytes * float64(len(f.links))
 	for _, e := range f.links {
 		m.linkBytes[e] += bytes
 	}
-	m.pidBytes[[2]topology.PID{f.u.Spec.PID, f.d.Spec.PID}] += bytes
+	uc, dc := s.clients[f.u], s.clients[f.d]
+	m.pidBytes[[2]topology.PID{uc.Spec.PID, dc.Spec.PID}] += bytes
 	if m.cfg.TrackClassBytes {
-		m.classBytes[[2]string{f.u.Spec.Class, f.d.Spec.Class}] += bytes
-		if f.d.DownBytesByClass != nil {
-			f.d.DownBytesByClass[f.u.Spec.Class] += bytes
+		m.classBytes[[2]string{uc.Spec.Class, dc.Spec.Class}] += bytes
+		if dc.DownBytesByClass != nil {
+			dc.DownBytesByClass[uc.Spec.Class] += bytes
 		}
 	}
 }
@@ -149,7 +150,7 @@ func (m *Metrics) result(s *Sim) *Result {
 	for _, c := range s.clients {
 		r.Clients = append(r.Clients, ClientStat{
 			ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN, Class: c.Spec.Class,
-			JoinAt: c.Spec.JoinAt, Done: c.done, DoneAt: c.doneAt,
+			JoinAt: c.Spec.JoinAt, Done: s.done[c.ID], DoneAt: s.doneAt[c.ID],
 			IsSeed: c.Spec.IsSeed, DownByClass: c.DownBytesByClass,
 		})
 	}

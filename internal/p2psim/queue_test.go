@@ -1,0 +1,253 @@
+package p2psim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"p4p/internal/apptracker"
+	"p4p/internal/topology"
+)
+
+// drain pops every event from q, failing if the queue disagrees with
+// its own length accounting.
+func drainCalendar(t *testing.T, q *calendarQueue) []event {
+	t.Helper()
+	var out []event
+	n := q.len()
+	for {
+		e, ok := q.pop()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	if len(out) != n {
+		t.Fatalf("drained %d events, len() reported %d", len(out), n)
+	}
+	return out
+}
+
+// TestCalendarQueueOverflow pushes events far beyond the wheel horizon
+// and checks they migrate back and pop in order.
+func TestCalendarQueueOverflow(t *testing.T) {
+	q := newCalendarQueue(0.01) // horizon = 64 buckets x 0.01s = 0.64s
+	var want []float64
+	for i := 0; i < 200; i++ {
+		// Times spanning 0..1000s: almost everything lands in overflow.
+		tm := float64(i*i) / 40
+		q.push(event{t: tm, kind: evFlowFinish, qseq: uint64(i)})
+		want = append(want, tm)
+	}
+	got := drainCalendar(t, q)
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, pushed %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if eventBefore(got[i], got[i-1]) {
+			t.Fatalf("pop %d out of order: %+v after %+v", i, got[i], got[i-1])
+		}
+	}
+}
+
+// TestCalendarQueueTieBreak checks that events with identical timestamps
+// pop ordered by kind, then FIFO by push sequence — the total order the
+// simulation's determinism contract relies on.
+func TestCalendarQueueTieBreak(t *testing.T) {
+	q := newCalendarQueue(0.5)
+	const tm = 3.25
+	// Push in an order that disagrees with both kind and seq order.
+	q.push(event{t: tm, kind: evSample, qseq: 0})
+	q.push(event{t: tm, kind: evFlowFinish, qseq: 1, id: 7})
+	q.push(event{t: tm, kind: evFlowFinish, qseq: 2, id: 8})
+	q.push(event{t: tm, kind: evJoin, qseq: 3})
+	q.push(event{t: tm, kind: evRechoke, qseq: 4})
+	got := drainCalendar(t, q)
+	wantKinds := []uint8{evJoin, evRechoke, evFlowFinish, evFlowFinish, evSample}
+	for i, e := range got {
+		if e.kind != wantKinds[i] {
+			t.Fatalf("pop %d kind = %d, want %d", i, e.kind, wantKinds[i])
+		}
+	}
+	if got[2].id != 7 || got[3].id != 8 {
+		t.Fatalf("equal (t, kind) events not FIFO: got ids %d, %d", got[2].id, got[3].id)
+	}
+}
+
+// TestCalendarQueueMatchesHeap cross-checks the calendar queue against
+// the reference heap on randomized interleaved push/pop traces,
+// including bursts big enough to force resizes and clusters of
+// identical timestamps.
+func TestCalendarQueueMatchesHeap(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cal := newCalendarQueue(0.05)
+		ref := &eventHeap{}
+		now := 0.0
+		var qseq uint64
+		push := func() {
+			var tm float64
+			switch rng.Intn(4) {
+			case 0: // clustered: exact duplicate of a recent time
+				tm = now + float64(rng.Intn(3))
+			case 1: // near future, dense
+				tm = now + rng.Float64()*0.2
+			case 2: // far future (overflow territory)
+				tm = now + 10 + rng.Float64()*1000
+			default:
+				tm = now + rng.Float64()*5
+			}
+			e := event{t: tm, kind: uint8(rng.Intn(7)), qseq: qseq, id: int32(qseq)}
+			qseq++
+			cal.push(e)
+			ref.push(e)
+		}
+		for i := 0; i < 200; i++ {
+			push()
+		}
+		for step := 0; step < 5000; step++ {
+			if rng.Intn(3) == 0 && cal.len() < 3000 {
+				push()
+				continue
+			}
+			ce, cok := cal.pop()
+			re, rok := ref.pop()
+			if cok != rok {
+				t.Fatalf("seed %d step %d: calendar ok=%v heap ok=%v", seed, step, cok, rok)
+			}
+			if !cok {
+				continue
+			}
+			if ce != re {
+				t.Fatalf("seed %d step %d: calendar popped %+v, heap popped %+v", seed, step, ce, re)
+			}
+			if ce.t < now {
+				t.Fatalf("seed %d step %d: time went backwards (%g < %g)", seed, step, ce.t, now)
+			}
+			now = ce.t
+		}
+		for {
+			ce, cok := cal.pop()
+			re, rok := ref.pop()
+			if cok != rok {
+				t.Fatalf("seed %d drain: calendar ok=%v heap ok=%v", seed, cok, rok)
+			}
+			if !cok {
+				break
+			}
+			if ce != re {
+				t.Fatalf("seed %d drain: calendar popped %+v, heap popped %+v", seed, ce, re)
+			}
+		}
+	}
+}
+
+// queueEquivSim builds a small but feature-dense swarm for the
+// queue-equivalence and epsilon tests.
+func queueEquivSim(forceHeap bool, eps float64) *Result {
+	g := topology.Abilene()
+	r := topology.ComputeRouting(g)
+	s := New(Config{
+		Graph:            g,
+		Routing:          r,
+		Selector:         apptracker.Random{},
+		Seed:             17,
+		FileBytes:        4 << 20,
+		ReselectInterval: 15,
+		SampleInterval:   5,
+		MeasureInterval:  10,
+		RateEpsilon:      eps,
+		forceHeapQueue:   forceHeap,
+	})
+	pids := g.AggregationPIDs()
+	s.AddClient(ClientSpec{PID: pids[0], ASN: 1, UpBps: 100e6, DownBps: 100e6, IsSeed: true})
+	for i := 0; i < 40; i++ {
+		s.AddClient(ClientSpec{
+			PID:     pids[i%len(pids)],
+			ASN:     1,
+			UpBps:   15e6,
+			DownBps: 40e6,
+			JoinAt:  float64(i) * 0.8,
+		})
+	}
+	return s.Run()
+}
+
+// TestQueueEquivalenceReports proves the two queue implementations are
+// interchangeable: the same configuration run under the calendar queue
+// and under the reference heap must produce deep-equal results, because
+// (t, kind, qseq) is a total order both implementations respect.
+func TestQueueEquivalenceReports(t *testing.T) {
+	heap := queueEquivSim(true, 0)
+	cal := queueEquivSim(false, 0)
+	if !reflect.DeepEqual(heap.Clients, cal.Clients) {
+		t.Fatal("per-client stats differ between heap and calendar queue")
+	}
+	if !reflect.DeepEqual(heap.LinkBytes, cal.LinkBytes) {
+		t.Fatal("link byte totals differ between heap and calendar queue")
+	}
+	if !reflect.DeepEqual(heap.Samples, cal.Samples) {
+		t.Fatal("utilization samples differ between heap and calendar queue")
+	}
+	if heap.TotalBytes != cal.TotalBytes || heap.UnitBDP != cal.UnitBDP {
+		t.Fatalf("aggregates differ: heap (%g, %g) vs calendar (%g, %g)",
+			heap.TotalBytes, heap.UnitBDP, cal.TotalBytes, cal.UnitBDP)
+	}
+	if !reflect.DeepEqual(heap.PIDBytes, cal.PIDBytes) {
+		t.Fatal("PID traffic matrices differ between heap and calendar queue")
+	}
+}
+
+// TestEpsilonZeroMatchesDefault pins the RateEpsilon = 0 contract: an
+// explicit zero takes the exact path and is byte-identical to the
+// zero-value default.
+func TestEpsilonZeroMatchesDefault(t *testing.T) {
+	a := queueEquivSim(false, 0)
+	b := queueEquivSim(false, 0)
+	if !reflect.DeepEqual(a.Clients, b.Clients) || a.TotalBytes != b.TotalBytes {
+		t.Fatal("epsilon-0 runs are not reproducible")
+	}
+}
+
+// TestBoundedStalenessApproximation checks the RateEpsilon > 0 mode:
+// bytes stay exactly conserved (progressFlow integrates the rates that
+// were actually applied), every client still completes, and completion
+// times stay within a modest bound of the exact run.
+func TestBoundedStalenessApproximation(t *testing.T) {
+	exact := queueEquivSim(false, 0)
+	approx := queueEquivSim(false, 0.05)
+
+	if got, want := len(approx.CompletionTimes()), len(exact.CompletionTimes()); got != want {
+		t.Fatalf("approx run completed %d clients, exact completed %d", got, want)
+	}
+	// Total transferred bytes are conserved no matter how stale the
+	// scheduled rates were: 41 clients x 4 MiB, less the final partial
+	// flows settled at MaxTime (none here: all clients finish).
+	if approx.TotalBytes <= 0 {
+		t.Fatal("approx run moved no bytes")
+	}
+	rel := (approx.TotalBytes - exact.TotalBytes) / exact.TotalBytes
+	if rel < -0.02 || rel > 0.02 {
+		t.Fatalf("total bytes drifted %.1f%% under epsilon", rel*100)
+	}
+	et, at := exact.SwarmCompletionTime(), approx.SwarmCompletionTime()
+	if at < et*0.8 || at > et*1.2 {
+		t.Fatalf("swarm completion drifted too far: exact %.2fs, approx %.2fs", et, at)
+	}
+}
+
+// TestRateEpsilonValidation pins the Config contract.
+func TestRateEpsilonValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative RateEpsilon did not panic")
+		}
+	}()
+	New(Config{
+		Graph:       topology.Abilene(),
+		Routing:     topology.ComputeRouting(topology.Abilene()),
+		Selector:    apptracker.Random{},
+		FileBytes:   1 << 20,
+		RateEpsilon: -0.1,
+	})
+}

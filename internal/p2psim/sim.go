@@ -14,12 +14,21 @@
 // local-rarest-first piece selection, periodic tit-for-tat rechoking
 // with optimistic unchoke, and seeding after completion. A streaming
 // mode (Liveswarms) layers a sliding playback window on the same engine.
+//
+// The engine is sized for 10^5-10^6-peer swarms (ROADMAP item 4, the
+// paper's 10M-user Pando field test): hot per-client and per-flow state
+// lives in struct-of-arrays index-addressed slices (piece bitfields as
+// flat bitsets, availability as a flat counter array, connections and
+// flows in free-listed arenas addressed by int32 handles), with the
+// pointer-bearing Client struct kept only at the API boundary. Events
+// flow through a calendar queue (see queue.go). See DESIGN.md §13.
 package p2psim
 
 import (
 	"cmp"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"slices"
 
@@ -98,6 +107,24 @@ type Config struct {
 	// TrackClassBytes enables the per-client map of bytes downloaded by
 	// uploader class (used by the FTTP analysis).
 	TrackClassBytes bool
+
+	// RateEpsilon enables bounded-staleness rate resolving: when the
+	// relative change of a flow's fair-share rate is small, the flow
+	// keeps transferring at its stale rate and the finish-event
+	// reschedule is deferred until the accumulated relative drift
+	// crosses RateEpsilon. Byte totals stay exactly conserved (flows
+	// integrate whatever rate they actually ran at); completion times
+	// become approximate within the bound. The default 0 is the exact
+	// mode: every rate change reschedules, and simulation traces are
+	// byte-identical to the pre-epsilon engine (the setting every
+	// EXPERIMENTS.md reproduction uses). Negative values panic.
+	RateEpsilon float64
+
+	// forceHeapQueue pins the reference binary-heap event queue instead
+	// of the calendar queue. Both produce identical simulation traces
+	// (same total event order); the heap is kept as the oracle for the
+	// queue-equivalence tests.
+	forceHeapQueue bool
 }
 
 func (c *Config) withDefaults() {
@@ -143,34 +170,15 @@ type ClientSpec struct {
 	Class string
 }
 
-// Client is the simulator's per-peer state.
+// Client is the per-peer API handle. The simulator's hot per-client
+// state (bitfields, rates, choke state) lives in index-addressed
+// struct-of-arrays slices on Sim, keyed by Client.ID; this struct holds
+// only the identity and the accessors tests and experiments use.
 type Client struct {
 	ID   int
 	Spec ClientSpec
 
-	upBps, downBps float64 // bytes/sec internally
-
-	has     []bool
-	numHas  int
-	avail   []int // availability of each piece among neighbors
-	pending map[int]bool
-
-	conns  []*conn
-	connOf map[int]*conn // by peer ID
-
-	nUp, nDown int // active transfer counts
-
-	joined     bool
-	done       bool
-	doneAt     float64
-	rechokeNum int
-	optimistic *Client
-
-	// unchokeMark and wantMark are epoch stamps (against Sim.unchokeEpoch
-	// and Sim.wantEpoch) that replace the per-call membership maps in
-	// rechokeClient and reselectClient.
-	unchokeMark int
-	wantMark    int
+	sim *Sim
 
 	// DownBytesByClass accumulates bytes received per uploader class
 	// when Config.TrackClassBytes is set.
@@ -178,26 +186,28 @@ type Client struct {
 }
 
 // Done reports whether the client has completed the file.
-func (c *Client) Done() bool { return c.done }
+func (c *Client) Done() bool { return c.sim.done[c.ID] }
 
 // DoneAt returns the completion time (absolute simulation seconds).
-func (c *Client) DoneAt() float64 { return c.doneAt }
+func (c *Client) DoneAt() float64 { return c.sim.doneAt[c.ID] }
 
 // CompletionTime returns seconds from join to completion, or NaN.
 func (c *Client) CompletionTime() float64 {
-	if !c.done {
+	if !c.Done() {
 		return math.NaN()
 	}
-	return c.doneAt - c.Spec.JoinAt
+	return c.DoneAt() - c.Spec.JoinAt
 }
 
-// conn is the state of one (symmetric) neighbor relationship.
-type conn struct {
-	a, b *Client
+// connS is one (symmetric) neighbor relationship, stored in the Sim's
+// conn arena and addressed by int32 handle.
+type connS struct {
+	a, b int32
 	// unchoked[0]: a unchokes b; unchoked[1]: b unchokes a.
 	unchoked [2]bool
-	// flow[0]: transfer a->b; flow[1]: transfer b->a.
-	flow [2]*flow
+	// flow[0]: transfer a->b; flow[1]: transfer b->a (arena handle, -1
+	// when idle).
+	flow [2]int32
 	// recv[0]: bytes b sent to a in the current rechoke interval;
 	// recv[1]: bytes a sent to b.
 	recv [2]float64
@@ -205,38 +215,54 @@ type conn struct {
 	// downloader still lacks (novel[0]: a has, b lacks; novel[1]: b has,
 	// a lacks). Maintained incrementally at connect time and whenever a
 	// piece lands, so interest checks are O(1) instead of O(pieces).
-	novel [2]int
+	novel [2]int32
 }
 
-func (cn *conn) peer(c *Client) *Client {
-	if cn.a == c {
-		return cn.b
-	}
-	return cn.a
-}
-
-// dirIndex returns the index for the direction u -> d in flow/unchoked.
-func (cn *conn) dirIndex(u *Client) int {
+// dirOf returns the index for the direction u -> peer in flow/unchoked.
+func dirOf(cn *connS, u int32) int {
 	if cn.a == u {
 		return 0
 	}
 	return 1
 }
 
-type flow struct {
-	u, d      *Client
-	cn        *conn
-	piece     int
+func peerOf(cn *connS, c int32) int32 {
+	if cn.a == c {
+		return cn.b
+	}
+	return cn.a
+}
+
+// flowS is one active piece transfer, stored in the Sim's flow arena.
+// seq survives slot reuse (it is never reset by alloc), so a stale
+// finish event addressed to a recycled slot can never match.
+type flowS struct {
+	u, d   int32
+	cn     int32 // conn arena handle
+	piece  int32
+	self   int32 // own arena handle (finish events carry it)
+	seq    int32
+	active bool
+
 	remaining float64 // bytes
 	rate      float64 // bytes/sec
 	rateCap   float64 // TCP window cap, bytes/sec (+Inf when disabled)
 	lastT     float64
-	links     []topology.LinkID
-	moved     float64           // bytes transferred so far (flushed at teardown)
-	ledgered  []topology.LinkID // links on the path with volume ledgers
-	seq       int
-	epoch     int // dedup stamp against Sim.flowEpoch (ratesChanged)
-	active    bool
+	moved     float64 // bytes transferred so far (flushed at teardown)
+	drift     float64 // accumulated relative rate drift (RateEpsilon)
+	eventT    float64 // time of the live scheduled finish event (+Inf when none)
+	epoch     int64   // dedup stamp against Sim.flowEpoch (ratesChanged)
+
+	links    []topology.LinkID
+	ledgered []topology.LinkID // links on the path with volume ledgers
+}
+
+// flowRef snapshots the sort key of one flow for ratesChanged, so the
+// deterministic (uploader, downloader) ordering can be established with
+// a capture-free comparator over values.
+type flowRef struct {
+	idx  int32
+	u, d int32
 }
 
 // Sim is a single swarm simulation. Build with New, add clients, Run.
@@ -244,27 +270,65 @@ type Sim struct {
 	cfg     Config
 	rng     *rand.Rand
 	now     float64
-	events  eventHeap
 	clients []*Client
 	pieces  int
+	hasW    int // bitset words per client
+
+	// Event queue: exactly one of heapQ/calQ is non-nil. Kept as two
+	// concrete fields (not an interface) so hot-path pushes stay
+	// statically dispatched.
+	qseq  uint64
+	heapQ *eventHeap
+	calQ  *calendarQueue
 
 	incomplete int // clients still downloading
+
+	// Per-client struct-of-arrays hot state, indexed by client ID.
+	upBps, downBps []float64 // bytes/sec internally
+	pid            []topology.PID
+	asn            []int
+	isSeed         []bool
+	joined         []bool
+	done           []bool
+	doneAt         []float64
+	numHas         []int32
+	nUp, nDown     []int32 // active transfer counts
+	rechokeNum     []int32
+	optimistic     []int32 // optimistic-unchoke peer ID, -1 none
+	unchokeMark    []int64 // epoch stamps replacing per-call sets
+	wantMark       []int64
+	hasBits        []uint64 // piece bitfields, hasW words per client
+	pendBits       []uint64 // in-flight pieces, same layout
+	avail          []int32  // neighbor availability, pieces per client
+	connsOf        [][]int32
+	connOf         []map[int32]int32 // peer ID -> conn handle
+	joinedPos      []int32           // position in joinedIDs
+
+	// Conn and flow arenas with free lists.
+	conns    []connS
+	connFree []int32
+	flows    []flowS
+	flowFree []int32
+
+	// Incrementally maintained tracker candidate list (every joined
+	// client, in join order); replaces the per-query O(clients) rebuild.
+	joinedIDs   []int32
+	joinedNodes []apptracker.Node
 
 	linkRate  []float64 // bytes/sec per backbone link, P4P traffic only
 	bgBytesPS []float64 // background, bytes/sec
 
 	// Reusable scratch state keeping the event hot paths allocation-free
-	// (see DESIGN.md §9). Epoch counters pair with the stamps on flow
-	// and Client so membership checks need no per-call maps.
-	flowEpoch    int
-	flowScratch  []*flow
-	unchokeEpoch int
-	wantEpoch    int
+	// (see DESIGN.md §9). Epoch counters pair with the stamps on flows
+	// and clients so membership checks need no per-call maps.
+	flowEpoch    int64
+	flowScratch  []flowRef
+	unchokeEpoch int64
+	wantEpoch    int64
 	candScratch  []rechokeCand
-	poolScratch  []*Client
-	candNodes    []apptracker.Node
-	candClients  []*Client
-	connScratch  []*conn
+	poolScratch  []int32
+	selScratch   []int32
+	connScratch  []int32
 	measureBuf   []float64
 
 	metrics Metrics
@@ -283,15 +347,26 @@ func New(cfg Config) *Sim {
 		panic(fmt.Sprintf("p2psim: BackgroundBps has %d entries, graph %q has %d links",
 			len(cfg.BackgroundBps), cfg.Graph.Name, cfg.Graph.NumLinks()))
 	}
+	if cfg.RateEpsilon < 0 {
+		panic(fmt.Sprintf("p2psim: negative RateEpsilon %v", cfg.RateEpsilon))
+	}
 	s := &Sim{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		linkRate: make([]float64, cfg.Graph.NumLinks()),
 	}
+	if cfg.forceHeapQueue {
+		s.heapQ = &eventHeap{}
+	} else {
+		// Initial bucket width ~ the spacing of control events; the
+		// queue re-derives it from the observed span as it grows.
+		s.calQ = newCalendarQueue(cfg.RechokeInterval / 256)
+	}
 	s.pieces = int((cfg.FileBytes + cfg.PieceBytes - 1) / cfg.PieceBytes)
 	if cfg.Streaming != nil {
 		s.pieces = cfg.Streaming.totalPieces(&cfg)
 	}
+	s.hasW = (s.pieces + 63) / 64
 	s.bgBytesPS = make([]float64, cfg.Graph.NumLinks())
 	for i := range s.bgBytesPS {
 		if cfg.BackgroundBps != nil {
@@ -307,36 +382,51 @@ func (s *Sim) AddClient(spec ClientSpec) *Client {
 	if spec.UpBps <= 0 || spec.DownBps <= 0 {
 		panic(fmt.Sprintf("p2psim: non-positive access capacity for client %d", len(s.clients)))
 	}
-	c := &Client{
-		ID:      len(s.clients),
-		Spec:    spec,
-		upBps:   spec.UpBps / 8,
-		downBps: spec.DownBps / 8,
-		has:     make([]bool, s.pieces),
-		avail:   make([]int, s.pieces),
-		pending: map[int]bool{},
-		connOf:  map[int]*conn{},
-	}
+	id := len(s.clients)
+	c := &Client{ID: id, Spec: spec, sim: s}
 	if s.cfg.TrackClassBytes {
 		c.DownBytesByClass = map[string]float64{}
 	}
-	if spec.IsSeed {
-		for i := range c.has {
-			c.has[i] = true
-		}
-		c.numHas = s.pieces
-		c.done = true
-		c.doneAt = spec.JoinAt
-	}
-	if s.cfg.Streaming != nil && spec.IsSeed {
-		// The streaming source starts with nothing published; pieces
-		// appear over time (see streaming.go).
-		for i := range c.has {
-			c.has[i] = false
-		}
-		c.numHas = 0
-	}
 	s.clients = append(s.clients, c)
+
+	s.upBps = append(s.upBps, spec.UpBps/8)
+	s.downBps = append(s.downBps, spec.DownBps/8)
+	s.pid = append(s.pid, spec.PID)
+	s.asn = append(s.asn, spec.ASN)
+	s.isSeed = append(s.isSeed, spec.IsSeed)
+	s.joined = append(s.joined, false)
+	s.done = append(s.done, false)
+	s.doneAt = append(s.doneAt, 0)
+	s.numHas = append(s.numHas, 0)
+	s.nUp = append(s.nUp, 0)
+	s.nDown = append(s.nDown, 0)
+	s.rechokeNum = append(s.rechokeNum, 0)
+	s.optimistic = append(s.optimistic, -1)
+	s.unchokeMark = append(s.unchokeMark, 0)
+	s.wantMark = append(s.wantMark, 0)
+	s.joinedPos = append(s.joinedPos, 0)
+	s.hasBits = append(s.hasBits, make([]uint64, s.hasW)...)
+	s.pendBits = append(s.pendBits, make([]uint64, s.hasW)...)
+	s.avail = append(s.avail, make([]int32, s.pieces)...)
+	s.connsOf = append(s.connsOf, nil)
+	s.connOf = append(s.connOf, map[int32]int32{})
+
+	if spec.IsSeed {
+		s.done[id] = true
+		s.doneAt[id] = spec.JoinAt
+		if s.cfg.Streaming == nil {
+			// Only bits [0, pieces) are ever set: the tail bits of the
+			// last word stay zero so word-level scans cannot surface
+			// phantom pieces.
+			hw := s.hasWords(int32(id))
+			for p := 0; p < s.pieces; p++ {
+				hw[p>>6] |= 1 << uint(p&63)
+			}
+			s.numHas[id] = int32(s.pieces)
+		}
+		// A streaming source starts with nothing published; pieces
+		// appear over time (see streaming.go).
+	}
 	return c
 }
 
@@ -349,6 +439,58 @@ func (s *Sim) Graph() *topology.Graph { return s.cfg.Graph }
 // Now returns the current simulation time.
 func (s *Sim) Now() float64 { return s.now }
 
+// --- bitset accessors ---
+
+func (s *Sim) hasWords(c int32) []uint64 {
+	return s.hasBits[int(c)*s.hasW : (int(c)+1)*s.hasW]
+}
+
+func (s *Sim) pendWords(c int32) []uint64 {
+	return s.pendBits[int(c)*s.hasW : (int(c)+1)*s.hasW]
+}
+
+func (s *Sim) availOf(c int32) []int32 {
+	return s.avail[int(c)*s.pieces : (int(c)+1)*s.pieces]
+}
+
+func (s *Sim) hasPiece(c int32, p int) bool {
+	return s.hasBits[int(c)*s.hasW+(p>>6)]&(1<<uint(p&63)) != 0
+}
+
+func (s *Sim) setHas(c int32, p int) {
+	s.hasBits[int(c)*s.hasW+(p>>6)] |= 1 << uint(p&63)
+}
+
+func (s *Sim) setPending(c int32, p int) {
+	s.pendBits[int(c)*s.hasW+(p>>6)] |= 1 << uint(p&63)
+}
+
+func (s *Sim) clearPending(c int32, p int) {
+	s.pendBits[int(c)*s.hasW+(p>>6)] &^= 1 << uint(p&63)
+}
+
+// --- event queue ---
+
+// push stamps the event with the global push counter (the FIFO
+// tie-break of the total event order) and enqueues it. The queue choice
+// branches on concrete types so the hot path has no dynamic dispatch.
+func (s *Sim) push(ev event) {
+	s.qseq++
+	ev.qseq = s.qseq
+	if s.heapQ != nil {
+		s.heapQ.push(ev)
+	} else {
+		s.calQ.push(ev)
+	}
+}
+
+func (s *Sim) popEvent() (event, bool) {
+	if s.heapQ != nil {
+		return s.heapQ.pop()
+	}
+	return s.calQ.pop()
+}
+
 // Run executes the simulation to completion (all non-seed clients done)
 // or MaxTime, and returns the collected metrics.
 func (s *Sim) Run() *Result {
@@ -356,7 +498,7 @@ func (s *Sim) Run() *Result {
 		if !c.Spec.IsSeed {
 			s.incomplete++
 		}
-		s.push(event{t: c.Spec.JoinAt, kind: evJoin, client: c})
+		s.push(event{t: c.Spec.JoinAt, kind: evJoin, id: int32(c.ID)})
 	}
 	s.push(event{t: s.cfg.RechokeInterval, kind: evRechoke})
 	if s.cfg.ReselectInterval > 0 {
@@ -372,8 +514,11 @@ func (s *Sim) Run() *Result {
 		s.cfg.Streaming.schedule(s)
 	}
 
-	for s.events.len() > 0 {
-		ev := s.events.pop()
+	for {
+		ev, ok := s.popEvent()
+		if !ok {
+			break
+		}
 		if ev.t > s.cfg.MaxTime {
 			s.now = s.cfg.MaxTime
 			break
@@ -381,19 +526,20 @@ func (s *Sim) Run() *Result {
 		s.now = ev.t
 		switch ev.kind {
 		case evJoin:
-			s.handleJoin(ev.client)
+			s.handleJoin(ev.id)
 		case evRechoke:
 			s.handleRechoke()
 		case evFlowFinish:
-			if ev.flow.active && ev.flow.seq == ev.seq {
-				s.handleFlowFinish(ev.flow)
+			f := &s.flows[ev.id]
+			if f.active && f.seq == ev.seq {
+				s.handleFlowFinish(ev.id)
 			}
 		case evMeasure:
 			s.handleMeasure()
 		case evSample:
 			s.handleSample()
 		case evStreamPiece:
-			s.handleStreamPiece(ev.client)
+			s.handleStreamPiece(ev.id)
 		case evReselect:
 			s.handleReselect()
 		}
@@ -402,182 +548,124 @@ func (s *Sim) Run() *Result {
 		}
 	}
 	// Final flow settlement for accurate byte accounting.
-	for _, c := range s.clients {
-		for _, cn := range c.conns {
-			for dir := 0; dir < 2; dir++ {
-				if f := cn.flow[dir]; f != nil && f.active && f.u == c {
-					s.progressFlow(f)
-					s.flushFlow(f)
-				}
-			}
+	for fi := range s.flows {
+		f := &s.flows[fi]
+		if f.active {
+			s.progressFlow(f)
+			s.flushFlow(f)
 		}
 	}
 	return s.metrics.result(s)
 }
 
-// --- events ---
-
-const (
-	evJoin = iota
-	evRechoke
-	evFlowFinish
-	evMeasure
-	evSample
-	evStreamPiece
-	evReselect
-)
-
-type event struct {
-	t      float64
-	kind   int
-	client *Client
-	flow   *flow
-	seq    int
-}
-
-// eventHeap is a typed binary min-heap over events. It replaces the
-// container/heap implementation, whose interface{}-boxed Push/Pop
-// allocated on every event; the sift algorithms mirror container/heap
-// exactly so the pop order (and hence every simulation trace) is
-// unchanged.
-type eventHeap struct {
-	ev []event
-}
-
-func (h *eventHeap) len() int { return len(h.ev) }
-
-func (h *eventHeap) less(i, j int) bool {
-	if h.ev[i].t != h.ev[j].t {
-		return h.ev[i].t < h.ev[j].t
-	}
-	return h.ev[i].kind < h.ev[j].kind
-}
-
-func (h *eventHeap) push(e event) {
-	h.ev = append(h.ev, e)
-	// Sift up.
-	j := len(h.ev) - 1
-	for j > 0 {
-		i := (j - 1) / 2 // parent
-		if !h.less(j, i) {
-			break
-		}
-		h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
-		j = i
-	}
-}
-
-func (h *eventHeap) pop() event {
-	n := len(h.ev) - 1
-	h.ev[0], h.ev[n] = h.ev[n], h.ev[0]
-	// Sift down over the first n elements.
-	i := 0
-	for {
-		j1 := 2*i + 1
-		if j1 >= n {
-			break
-		}
-		j := j1
-		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
-			j = j2
-		}
-		if !h.less(j, i) {
-			break
-		}
-		h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
-		i = j
-	}
-	e := h.ev[n]
-	h.ev[n] = event{} // drop references held by the vacated slot
-	h.ev = h.ev[:n]
-	return e
-}
-
-func (s *Sim) push(ev event) { s.events.push(ev) }
-
 // --- join and neighbor management ---
 
-func (s *Sim) handleJoin(c *Client) {
-	c.joined = true
-	// Tracker query: candidates are all currently joined clients.
-	candidates, candClients := s.trackerCandidates(c)
-	self := apptracker.Node{ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN}
-	sel := s.cfg.Selector.Select(self, candidates, s.cfg.NeighborTarget, s.rng)
+func (s *Sim) handleJoin(c int32) {
+	s.joined[c] = true
+	// Tracker query: candidates are all previously joined clients (c is
+	// appended to the list only after the query, so it never sees
+	// itself).
+	self := apptracker.Node{ID: int(c), PID: s.pid[c], ASN: s.asn[c]}
+	sel := s.cfg.Selector.Select(self, s.joinedNodes, s.cfg.NeighborTarget, s.rng)
+	picks := s.selScratch[:0]
 	for _, idx := range sel {
-		s.connect(c, candClients[idx])
+		picks = append(picks, s.joinedIDs[idx])
+	}
+	s.selScratch = picks
+	s.joinedPos[c] = int32(len(s.joinedIDs))
+	s.joinedIDs = append(s.joinedIDs, c)
+	s.joinedNodes = append(s.joinedNodes, self)
+	for _, p := range picks {
+		s.connect(c, p)
 	}
 	// Newly joined clients try to attract an unchoke at the very next
 	// rechoke; nothing to start yet (no pieces, not unchoked).
 	// A seed joining late can immediately serve: rechoke handles it.
 }
 
-// trackerCandidates assembles the tracker's candidate set for c into
-// buffers reused across queries. Selectors receive the node slice for
-// the duration of Select only and must not retain it.
-func (s *Sim) trackerCandidates(c *Client) ([]apptracker.Node, []*Client) {
-	nodes, clients := s.candNodes[:0], s.candClients[:0]
-	for _, o := range s.clients {
-		if o.joined && o != c {
-			nodes = append(nodes, apptracker.Node{ID: o.ID, PID: o.Spec.PID, ASN: o.Spec.ASN})
-			clients = append(clients, o)
-		}
+// candidatesExcluding serves the tracker candidate list with client c
+// removed, by swapping c's entry to the tail and returning the prefix.
+// The swap persists (joinedPos tracks it), so exclusion is O(1) instead
+// of an O(clients) rebuild per query. Selectors receive the node slice
+// for the duration of Select only and must not retain it.
+func (s *Sim) candidatesExcluding(c int32) []apptracker.Node {
+	pos := s.joinedPos[c]
+	last := int32(len(s.joinedIDs) - 1)
+	if pos != last {
+		oc := s.joinedIDs[last]
+		s.joinedIDs[pos], s.joinedIDs[last] = oc, c
+		s.joinedNodes[pos], s.joinedNodes[last] = s.joinedNodes[last], s.joinedNodes[pos]
+		s.joinedPos[oc], s.joinedPos[c] = pos, last
 	}
-	s.candNodes, s.candClients = nodes, clients
-	return nodes, clients
+	return s.joinedNodes[:last]
 }
 
 // connect establishes a symmetric neighbor relationship.
-func (s *Sim) connect(a, b *Client) {
+func (s *Sim) connect(a, b int32) {
 	if a == b {
 		return
 	}
-	if _, dup := a.connOf[b.ID]; dup {
+	if _, dup := s.connOf[a][b]; dup {
 		return
 	}
-	cn := &conn{a: a, b: b}
-	a.conns = append(a.conns, cn)
-	b.conns = append(b.conns, cn)
-	a.connOf[b.ID] = cn
-	b.connOf[a.ID] = cn
-	// Availability and interest bookkeeping.
-	for p := 0; p < s.pieces; p++ {
-		if b.has[p] {
-			a.avail[p]++
-			if !a.has[p] {
-				cn.novel[1]++ // b has a piece a lacks
-			}
+	var ci int32
+	if n := len(s.connFree); n > 0 {
+		ci = s.connFree[n-1]
+		s.connFree = s.connFree[:n-1]
+	} else {
+		s.conns = append(s.conns, connS{})
+		ci = int32(len(s.conns) - 1)
+	}
+	s.conns[ci] = connS{a: a, b: b, flow: [2]int32{-1, -1}}
+	s.connsOf[a] = append(s.connsOf[a], ci)
+	s.connsOf[b] = append(s.connsOf[b], ci)
+	s.connOf[a][b] = ci
+	s.connOf[b][a] = ci
+	// Availability and interest bookkeeping, word at a time.
+	ah, bh := s.hasWords(a), s.hasWords(b)
+	availA, availB := s.availOf(a), s.availOf(b)
+	var novel [2]int32
+	for w := range ah {
+		aw, bw := ah[w], bh[w]
+		novel[0] += int32(bits.OnesCount64(aw &^ bw)) // a has, b lacks
+		novel[1] += int32(bits.OnesCount64(bw &^ aw)) // b has, a lacks
+		for m := bw; m != 0; m &= m - 1 {
+			availA[w<<6+bits.TrailingZeros64(m)]++
 		}
-		if a.has[p] {
-			b.avail[p]++
-			if !b.has[p] {
-				cn.novel[0]++ // a has a piece b lacks
-			}
+		for m := aw; m != 0; m &= m - 1 {
+			availB[w<<6+bits.TrailingZeros64(m)]++
 		}
 	}
+	s.conns[ci].novel = novel
 }
 
-// interestedIn reports whether d wants data from its neighbor u: O(1)
+// interested reports whether d wants data from its neighbor u: O(1)
 // via the incrementally maintained per-conn novel-piece counters.
-func (s *Sim) interestedIn(d, u *Client) bool {
-	if d.done {
+func (s *Sim) interested(d, u int32) bool {
+	if s.done[d] {
 		return false
 	}
-	cn := u.connOf[d.ID]
-	return cn != nil && cn.novel[cn.dirIndex(u)] > 0
+	ci, ok := s.connOf[u][d]
+	if !ok {
+		return false
+	}
+	cn := &s.conns[ci]
+	return cn.novel[dirOf(cn, u)] > 0
 }
 
 // gainPiece records that d now has the given piece, updating neighbor
 // availability and the per-conn interest counters.
-func (s *Sim) gainPiece(d *Client, piece int) {
-	d.has[piece] = true
-	d.numHas++
-	for _, cn := range d.conns {
-		p := cn.peer(d)
-		p.avail[piece]++
-		if p.has[piece] {
-			cn.novel[cn.dirIndex(p)]-- // d no longer lacks a piece p has
+func (s *Sim) gainPiece(d int32, piece int) {
+	s.setHas(d, piece)
+	s.numHas[d]++
+	for _, ci := range s.connsOf[d] {
+		cn := &s.conns[ci]
+		p := peerOf(cn, d)
+		s.avail[int(p)*s.pieces+piece]++
+		if s.hasPiece(p, piece) {
+			cn.novel[dirOf(cn, p)]-- // d no longer lacks a piece p has
 		} else {
-			cn.novel[cn.dirIndex(d)]++ // d gained a piece p still lacks
+			cn.novel[dirOf(cn, d)]++ // d gained a piece p still lacks
 		}
 	}
 }
@@ -585,68 +673,90 @@ func (s *Sim) gainPiece(d *Client, piece int) {
 // handleReselect re-runs tracker selection for every joined client and
 // swaps out idle connections that the fresh selection dropped.
 func (s *Sim) handleReselect() {
-	for _, c := range s.clients {
-		if !c.joined || c.Spec.IsSeed {
+	for id := int32(0); int(id) < len(s.clients); id++ {
+		if !s.joined[id] || s.isSeed[id] {
 			continue
 		}
-		s.reselectClient(c)
+		s.reselectClient(id)
 	}
 	if s.incomplete > 0 || s.cfg.Streaming != nil {
 		s.push(event{t: s.now + s.cfg.ReselectInterval, kind: evReselect})
 	}
 }
 
-func (s *Sim) reselectClient(c *Client) {
-	candidates, candClients := s.trackerCandidates(c)
-	self := apptracker.Node{ID: c.ID, PID: c.Spec.PID, ASN: c.Spec.ASN}
-	sel := s.cfg.Selector.Select(self, candidates, s.cfg.NeighborTarget, s.rng)
-	s.wantEpoch++
+func (s *Sim) reselectClient(c int32) {
+	cands := s.candidatesExcluding(c)
+	self := apptracker.Node{ID: int(c), PID: s.pid[c], ASN: s.asn[c]}
+	sel := s.cfg.Selector.Select(self, cands, s.cfg.NeighborTarget, s.rng)
+	picks := s.selScratch[:0]
 	for _, idx := range sel {
-		candClients[idx].wantMark = s.wantEpoch
+		picks = append(picks, s.joinedIDs[idx])
+	}
+	s.selScratch = picks
+	s.wantEpoch++
+	for _, p := range picks {
+		s.wantMark[p] = s.wantEpoch
 	}
 	// Drop idle connections the fresh selection no longer includes,
 	// iterating over a scratch snapshot because disconnect mutates
-	// c.conns.
-	snapshot := append(s.connScratch[:0], c.conns...)
-	for _, cn := range snapshot {
-		p := cn.peer(c)
-		if p.wantMark == s.wantEpoch || cn.flow[0] != nil || cn.flow[1] != nil {
+	// connsOf[c].
+	snapshot := append(s.connScratch[:0], s.connsOf[c]...)
+	for _, ci := range snapshot {
+		cn := &s.conns[ci]
+		p := peerOf(cn, c)
+		if s.wantMark[p] == s.wantEpoch || cn.flow[0] >= 0 || cn.flow[1] >= 0 {
 			continue
 		}
-		s.disconnect(cn)
+		s.disconnect(ci)
 	}
 	s.connScratch = snapshot
 	// Connect the newly selected peers (connect dedupes).
-	for _, idx := range sel {
-		s.connect(c, candClients[idx])
+	for _, p := range picks {
+		s.connect(c, p)
 	}
 }
 
-// disconnect tears down an idle neighbor relationship.
-func (s *Sim) disconnect(cn *conn) {
-	if cn.flow[0] != nil || cn.flow[1] != nil {
+// disconnect tears down an idle neighbor relationship and returns its
+// arena slot to the free list.
+func (s *Sim) disconnect(ci int32) {
+	cn := &s.conns[ci]
+	if cn.flow[0] >= 0 || cn.flow[1] >= 0 {
 		panic("p2psim: disconnect with active flow")
 	}
-	for _, c := range []*Client{cn.a, cn.b} {
-		p := cn.peer(c)
-		for i, x := range c.conns {
-			if x == cn {
-				c.conns = append(c.conns[:i], c.conns[i+1:]...)
-				break
-			}
+	a, b := cn.a, cn.b
+	s.removeConnRef(a, ci)
+	s.removeConnRef(b, ci)
+	delete(s.connOf[a], b)
+	delete(s.connOf[b], a)
+	ah, bh := s.hasWords(a), s.hasWords(b)
+	availA, availB := s.availOf(a), s.availOf(b)
+	for w := range ah {
+		for m := bh[w]; m != 0; m &= m - 1 {
+			availA[w<<6+bits.TrailingZeros64(m)]--
 		}
-		delete(c.connOf, p.ID)
-		for piece := 0; piece < s.pieces; piece++ {
-			if p.has[piece] {
-				c.avail[piece]--
-			}
+		for m := ah[w]; m != 0; m &= m - 1 {
+			availB[w<<6+bits.TrailingZeros64(m)]--
 		}
 	}
-	if cn.a.optimistic == cn.b {
-		cn.a.optimistic = nil
+	if s.optimistic[a] == b {
+		s.optimistic[a] = -1
 	}
-	if cn.b.optimistic == cn.a {
-		cn.b.optimistic = nil
+	if s.optimistic[b] == a {
+		s.optimistic[b] = -1
+	}
+	s.connFree = append(s.connFree, ci)
+}
+
+// removeConnRef drops the handle ci from c's connection list, keeping
+// the remaining order (rechoke and tryStart iteration order is part of
+// the deterministic trace).
+func (s *Sim) removeConnRef(c, ci int32) {
+	list := s.connsOf[c]
+	for i, x := range list {
+		if x == ci {
+			s.connsOf[c] = append(list[:i], list[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -654,18 +764,15 @@ func (s *Sim) disconnect(cn *conn) {
 
 //p4p:hotpath fires every RechokeInterval for every client; the allocation-free contract is what keeps large sweeps tractable
 func (s *Sim) handleRechoke() {
-	for _, u := range s.clients {
-		if u.joined {
-			s.rechokeClient(u)
+	for id := int32(0); int(id) < len(s.clients); id++ {
+		if s.joined[id] {
+			s.rechokeClient(id)
 		}
 	}
-	// Reset interval byte counters.
-	for _, c := range s.clients {
-		for _, cn := range c.conns {
-			if cn.a == c { // visit each conn once
-				cn.recv[0], cn.recv[1] = 0, 0
-			}
-		}
+	// Reset interval byte counters (free arena slots included: zeroing
+	// them is harmless and the straight sweep is cache-friendly).
+	for i := range s.conns {
+		s.conns[i].recv[0], s.conns[i].recv[1] = 0, 0
 	}
 	if s.incomplete > 0 || s.cfg.Streaming != nil {
 		s.push(event{t: s.now + s.cfg.RechokeInterval, kind: evRechoke})
@@ -676,9 +783,21 @@ func (s *Sim) handleRechoke() {
 // Candidates accumulate in Sim.candScratch so the per-client rechoke
 // allocates nothing.
 type rechokeCand struct {
-	cn    *conn
-	peer  *Client
+	ci    int32
+	peer  int32
 	score float64
+}
+
+// cmpRechoke orders candidates by score descending, peer ID ascending;
+// package-level so the sort call stays closure-free.
+func cmpRechoke(a, b rechokeCand) int {
+	if a.score != b.score {
+		if a.score > b.score {
+			return -1
+		}
+		return 1
+	}
+	return cmp.Compare(a.peer, b.peer)
 }
 
 // rechokeClient re-evaluates u's unchoke set: top (slots-1) interested
@@ -686,31 +805,24 @@ type rechokeCand struct {
 // seeds), plus one optimistic slot rotated every OptimisticEvery
 // rechokes. Membership in the new unchoke set is tracked by stamping
 // peers with the current unchoke epoch instead of building a set.
-func (s *Sim) rechokeClient(u *Client) {
-	u.rechokeNum++
+func (s *Sim) rechokeClient(u int32) {
+	s.rechokeNum[u]++
 	interested := s.candScratch[:0]
-	for _, cn := range u.conns {
-		p := cn.peer(u)
-		if !p.joined || !s.interestedIn(p, u) {
+	for _, ci := range s.connsOf[u] {
+		cn := &s.conns[ci]
+		p := peerOf(cn, u)
+		if !s.joined[p] || s.done[p] || cn.novel[dirOf(cn, u)] == 0 {
 			continue
 		}
 		// Tit-for-tat: bytes p uploaded to u during the last interval.
-		score := cn.recv[cn.dirIndex(p)]
-		if u.done {
+		score := cn.recv[dirOf(cn, p)]
+		if s.done[u] {
 			// Seeds have no download to reciprocate; randomize.
 			score = s.rng.Float64()
 		}
-		interested = append(interested, rechokeCand{cn, p, score})
+		interested = append(interested, rechokeCand{ci: ci, peer: p, score: score})
 	}
-	slices.SortStableFunc(interested, func(a, b rechokeCand) int {
-		if a.score != b.score {
-			if a.score > b.score {
-				return -1
-			}
-			return 1
-		}
-		return cmp.Compare(a.peer.ID, b.peer.ID)
-	})
+	slices.SortStableFunc(interested, cmpRechoke)
 	s.candScratch = interested
 	regular := s.cfg.UploadSlots - 1
 	if regular < 0 {
@@ -719,105 +831,152 @@ func (s *Sim) rechokeClient(u *Client) {
 	s.unchokeEpoch++
 	mark := s.unchokeEpoch
 	for i := 0; i < len(interested) && i < regular; i++ {
-		interested[i].peer.unchokeMark = mark
+		s.unchokeMark[interested[i].peer] = mark
 	}
 	// Optimistic slot.
-	rotate := u.optimistic == nil || !s.interestedIn(u.optimistic, u) ||
-		u.rechokeNum%s.cfg.OptimisticEvery == 0
+	opt := s.optimistic[u]
+	rotate := opt < 0 || !s.interested(opt, u) ||
+		int(s.rechokeNum[u])%s.cfg.OptimisticEvery == 0
 	if rotate {
 		pool := s.poolScratch[:0]
 		for _, c := range interested {
-			if c.peer.unchokeMark != mark {
+			if s.unchokeMark[c.peer] != mark {
 				pool = append(pool, c.peer)
 			}
 		}
 		if len(pool) > 0 {
-			u.optimistic = pool[s.rng.Intn(len(pool))]
+			s.optimistic[u] = pool[s.rng.Intn(len(pool))]
 		} else {
-			u.optimistic = nil
+			s.optimistic[u] = -1
 		}
 		s.poolScratch = pool
+		opt = s.optimistic[u]
 	}
-	if u.optimistic != nil && u.optimistic.unchokeMark != mark && s.interestedIn(u.optimistic, u) {
-		u.optimistic.unchokeMark = mark
+	if opt >= 0 && s.unchokeMark[opt] != mark && s.interested(opt, u) {
+		s.unchokeMark[opt] = mark
 	}
 	// Apply: choke removed peers (in-flight pieces finish), unchoke new.
-	for _, cn := range u.conns {
-		p := cn.peer(u)
-		dir := cn.dirIndex(u)
+	for _, ci := range s.connsOf[u] {
+		cn := &s.conns[ci]
+		p := peerOf(cn, u)
+		dir := dirOf(cn, u)
 		was := cn.unchoked[dir]
-		cn.unchoked[dir] = p.unchokeMark == mark
+		cn.unchoked[dir] = s.unchokeMark[p] == mark
 		if !was && cn.unchoked[dir] {
-			s.tryStart(u, p)
+			s.tryStartCn(ci, u, p)
 		}
 	}
 }
 
 // --- transfers ---
 
-// tryStart begins a transfer u->d if u unchokes d, the connection is
-// idle in that direction, and d wants a piece u has (rarest-first).
+// tryStart begins a transfer u->d if they are connected, u unchokes d,
+// the connection is idle in that direction, and d wants a piece u has.
+func (s *Sim) tryStart(u, d int32) {
+	if ci, ok := s.connOf[u][d]; ok {
+		s.tryStartCn(ci, u, d)
+	}
+}
+
+// tryStartCn is tryStart for a known conn handle (rarest-first piece
+// choice, flow arena slot alloc, initial rate resolve).
 //
-//p4p:coldpath allocates one flow object per started transfer by design; flows are the simulation's unit of work
-func (s *Sim) tryStart(u, d *Client) {
-	cn := u.connOf[d.ID]
-	if cn == nil || d.done || !d.joined || !u.joined {
+//p4p:coldpath allocates or recycles one flow arena slot per started transfer by design; flows are the simulation's unit of work
+func (s *Sim) tryStartCn(ci, u, d int32) {
+	if s.done[d] || !s.joined[d] || !s.joined[u] {
 		return
 	}
-	dir := cn.dirIndex(u)
-	if !cn.unchoked[dir] || cn.flow[dir] != nil {
-		return
+	{
+		cn := &s.conns[ci]
+		dir := dirOf(cn, u)
+		if !cn.unchoked[dir] || cn.flow[dir] >= 0 {
+			return
+		}
 	}
 	piece := s.pickPiece(u, d)
 	if piece < 0 {
 		return
 	}
-	f := &flow{
-		u: u, d: d, cn: cn, piece: piece,
-		remaining: float64(s.cfg.PieceBytes),
-		rateCap:   math.Inf(1),
-		lastT:     s.now,
-		active:    true,
-	}
-	if u.Spec.PID != d.Spec.PID {
-		f.links = s.cfg.Routing.Path(u.Spec.PID, d.Spec.PID)
+	fi := s.allocFlow()
+	f := &s.flows[fi]
+	f.u, f.d, f.cn, f.piece, f.self = u, d, ci, int32(piece), fi
+	f.active = true
+	f.remaining = float64(s.cfg.PieceBytes)
+	f.rate = 0
+	f.rateCap = math.Inf(1)
+	f.lastT = s.now
+	f.moved = 0
+	f.drift = 0
+	f.eventT = math.Inf(1)
+	f.links = nil
+	f.ledgered = f.ledgered[:0]
+	if s.pid[u] != s.pid[d] {
+		f.links = s.cfg.Routing.Path(s.pid[u], s.pid[d])
 	}
 	if s.cfg.TCPWindowBytes > 0 {
-		rtt := s.cfg.BaseRTTSec + 2*s.cfg.Routing.PropagationDelaySeconds(u.Spec.PID, d.Spec.PID)
+		rtt := s.cfg.BaseRTTSec + 2*s.cfg.Routing.PropagationDelaySeconds(s.pid[u], s.pid[d])
 		f.rateCap = s.cfg.TCPWindowBytes / rtt
 	}
-	for _, e := range f.links {
-		if _, ok := s.metrics.ledgers[e]; ok {
-			f.ledgered = append(f.ledgered, e)
+	if len(s.metrics.ledgers) > 0 {
+		for _, e := range f.links {
+			if _, ok := s.metrics.ledgers[e]; ok {
+				f.ledgered = append(f.ledgered, e)
+			}
 		}
 	}
-	cn.flow[dir] = f
-	d.pending[piece] = true
-	u.nUp++
-	d.nDown++
+	cn := &s.conns[ci]
+	cn.flow[dirOf(cn, u)] = fi
+	s.setPending(d, piece)
+	s.nUp[u]++
+	s.nDown[d]++
 	s.ratesChanged(u, d)
 }
 
+// allocFlow returns a flow arena slot: recycled from the free list when
+// possible, freshly appended otherwise. The slot's seq stamp is
+// deliberately NOT reset — it outlives reuse so stale finish events
+// addressed to the slot keep failing their seq check.
+func (s *Sim) allocFlow() int32 {
+	if n := len(s.flowFree); n > 0 {
+		fi := s.flowFree[n-1]
+		s.flowFree = s.flowFree[:n-1]
+		return fi
+	}
+	s.flows = append(s.flows, flowS{})
+	return int32(len(s.flows) - 1)
+}
+
+func (s *Sim) freeFlow(fi int32) {
+	f := &s.flows[fi]
+	f.links = nil // owned by Routing; drop the alias
+	s.flowFree = append(s.flowFree, fi)
+}
+
 // pickPiece chooses the locally-rarest piece that u has, d lacks, and d
-// is not already fetching; ties break uniformly at random. Streaming
-// mode instead fetches in order within the playback window.
-func (s *Sim) pickPiece(u, d *Client) int {
+// is not already fetching; ties break uniformly at random. The
+// candidate set is computed word-at-a-time from the piece bitsets.
+// Streaming mode instead fetches in order within the playback window.
+func (s *Sim) pickPiece(u, d int32) int {
 	if s.cfg.Streaming != nil {
 		return s.pickStreamPiece(u, d)
 	}
-	best, bestAvail, count := -1, math.MaxInt32, 0
-	for p := 0; p < s.pieces; p++ {
-		if !u.has[p] || d.has[p] || d.pending[p] {
-			continue
-		}
-		a := d.avail[p]
-		switch {
-		case a < bestAvail:
-			best, bestAvail, count = p, a, 1
-		case a == bestAvail:
-			count++
-			if s.rng.Intn(count) == 0 {
-				best = p
+	uh, dh := s.hasWords(u), s.hasWords(d)
+	dp := s.pendWords(d)
+	avail := s.availOf(d)
+	best, count := -1, 0
+	bestAvail := int32(math.MaxInt32)
+	for w := range uh {
+		for m := uh[w] &^ dh[w] &^ dp[w]; m != 0; m &= m - 1 {
+			p := w<<6 + bits.TrailingZeros64(m)
+			a := avail[p]
+			switch {
+			case a < bestAvail:
+				best, bestAvail, count = p, a, 1
+			case a == bestAvail:
+				count++
+				if s.rng.Intn(count) == 0 {
+					best = p
+				}
 			}
 		}
 	}
@@ -827,7 +986,7 @@ func (s *Sim) pickPiece(u, d *Client) int {
 // progressFlow advances a flow's byte accounting to the current time.
 // Cheap counters update here; per-PID and per-class aggregates flush
 // once at flow teardown (flushFlow) to keep the hot path map-free.
-func (s *Sim) progressFlow(f *flow) {
+func (s *Sim) progressFlow(f *flowS) {
 	dt := s.now - f.lastT
 	if dt > 0 && f.rate > 0 {
 		bytes := f.rate * dt
@@ -836,7 +995,8 @@ func (s *Sim) progressFlow(f *flow) {
 		}
 		f.remaining -= bytes
 		f.moved += bytes
-		f.cn.recv[f.cn.dirIndex(f.d)] += bytes
+		cn := &s.conns[f.cn]
+		cn.recv[dirOf(cn, f.d)] += bytes
 		for _, e := range f.ledgered {
 			s.metrics.ledgers[e].AddSpread(f.lastT, s.now, bytes)
 		}
@@ -846,7 +1006,7 @@ func (s *Sim) progressFlow(f *flow) {
 
 // flushFlow commits a flow's accumulated bytes to the aggregate
 // metrics. Call exactly once, after the final progressFlow.
-func (s *Sim) flushFlow(f *flow) {
+func (s *Sim) flushFlow(f *flowS) {
 	if f.moved == 0 {
 		return
 	}
@@ -854,39 +1014,65 @@ func (s *Sim) flushFlow(f *flow) {
 	f.moved = 0
 }
 
+// cmpFlowRef orders flows by (uploader, downloader); package-level so
+// the ratesChanged sort stays closure-free.
+func cmpFlowRef(x, y flowRef) int {
+	if x.u != y.u {
+		return cmp.Compare(x.u, y.u)
+	}
+	return cmp.Compare(x.d, y.d)
+}
+
 // ratesChanged recomputes the rates of all flows incident to the two
 // endpoints (their fair shares changed) and reschedules finish events.
 // Flows are deduplicated by stamping them with a fresh epoch and
 // collected into a scratch slice reused across calls; the sort keeps
-// the same deterministic (uploader, downloader) iteration order the
-// map-based implementation produced.
-func (s *Sim) ratesChanged(a, b *Client) {
+// the deterministic (uploader, downloader) iteration order.
+//
+// With Config.RateEpsilon > 0, small relative deltas are absorbed into
+// a per-flow drift accumulator instead of rescheduling: the flow keeps
+// running at its stale rate until the accumulated drift crosses the
+// bound. Bytes remain exactly conserved (progressFlow integrates the
+// rate the flow actually ran at); finish times are approximate within
+// the bound. Epsilon 0 takes the exact branch-free path.
+func (s *Sim) ratesChanged(a, b int32) {
 	s.flowEpoch++
 	flows := s.flowScratch[:0]
-	for _, c := range [2]*Client{a, b} {
-		for _, cn := range c.conns {
+	for _, c := range [2]int32{a, b} {
+		for _, ci := range s.connsOf[c] {
+			cn := &s.conns[ci]
 			for dir := 0; dir < 2; dir++ {
-				if f := cn.flow[dir]; f != nil && f.active && f.epoch != s.flowEpoch {
+				fi := cn.flow[dir]
+				if fi < 0 {
+					continue
+				}
+				f := &s.flows[fi]
+				if f.active && f.epoch != s.flowEpoch {
 					f.epoch = s.flowEpoch
-					flows = append(flows, f)
+					flows = append(flows, flowRef{idx: fi, u: f.u, d: f.d})
 				}
 			}
 		}
 	}
-	slices.SortFunc(flows, func(x, y *flow) int {
-		if x.u.ID != y.u.ID {
-			return cmp.Compare(x.u.ID, y.u.ID)
-		}
-		return cmp.Compare(x.d.ID, y.d.ID)
-	})
+	slices.SortFunc(flows, cmpFlowRef)
 	s.flowScratch = flows
-	for _, f := range flows {
-		newRate := flowRate(f)
+	eps := s.cfg.RateEpsilon
+	for _, ref := range flows {
+		f := &s.flows[ref.idx]
+		newRate := s.flowRate(f)
 		if newRate == f.rate {
 			// Unchanged rate: the previously scheduled finish event is
 			// still exact; skip the reschedule and the progress flush.
 			continue
 		}
+		if eps > 0 && f.rate > 0 {
+			rel := math.Abs(newRate-f.rate) / f.rate
+			if f.drift+rel <= eps {
+				f.drift += rel
+				continue
+			}
+		}
+		f.drift = 0
 		s.progressFlow(f)
 		s.applyRate(f, newRate)
 		s.scheduleFinish(f)
@@ -896,14 +1082,14 @@ func (s *Sim) ratesChanged(a, b *Client) {
 // flowRate is the session-level TCP model of [3]/[4]: the transfer gets
 // the minimum of the uploader's and downloader's per-connection fair
 // shares, additionally capped by the window/RTT limit of the path.
-func flowRate(f *flow) float64 {
-	up := f.u.upBps / float64(f.u.nUp)
-	down := f.d.downBps / float64(f.d.nDown)
+func (s *Sim) flowRate(f *flowS) float64 {
+	up := s.upBps[f.u] / float64(s.nUp[f.u])
+	down := s.downBps[f.d] / float64(s.nDown[f.d])
 	return math.Min(f.rateCap, math.Min(up, down))
 }
 
 // applyRate updates the flow's rate and the per-link rate accounting.
-func (s *Sim) applyRate(f *flow, rate float64) {
+func (s *Sim) applyRate(f *flowS, rate float64) {
 	delta := rate - f.rate
 	for _, e := range f.links {
 		s.linkRate[e] += delta
@@ -911,60 +1097,84 @@ func (s *Sim) applyRate(f *flow, rate float64) {
 	f.rate = rate
 }
 
-func (s *Sim) scheduleFinish(f *flow) {
-	f.seq++
+// scheduleFinish (re)arms the flow's finish event. A reschedule is only
+// pushed when the projected finish moved EARLIER than the currently
+// scheduled event: a later finish keeps the old event live, which then
+// fires early, integrates exactly, and re-arms (handleFlowFinish's
+// remaining > 0 branch). Rate decreases — the common case, every new
+// flow joining a bottleneck slows its neighbours — therefore push
+// nothing, collapsing what used to be a stale-event reschedule storm
+// into at most one early fire per scheduled event. Byte accounting is
+// unaffected: progressFlow integrates the actually-applied rates
+// regardless of when events fire.
+func (s *Sim) scheduleFinish(f *flowS) {
 	if f.rate <= 0 {
+		f.seq++ // kill the live event, if any
+		f.eventT = math.Inf(1)
 		return // re-armed when a rate change occurs
 	}
 	t := s.now + f.remaining/f.rate
-	s.push(event{t: t, kind: evFlowFinish, flow: f, seq: f.seq})
+	if t >= f.eventT {
+		return // finish moved later: the live event fires early and re-arms
+	}
+	f.seq++
+	f.eventT = t
+	s.push(event{t: t, kind: evFlowFinish, id: f.self, seq: f.seq})
 }
 
 //p4p:hotpath fires once per transferred piece, the highest-frequency event in a run
-func (s *Sim) handleFlowFinish(f *flow) {
+func (s *Sim) handleFlowFinish(fi int32) {
+	f := &s.flows[fi]
+	f.eventT = math.Inf(1) // the live event just fired
 	s.progressFlow(f)
 	if f.remaining > 1e-6 {
-		// Rate changed since scheduling; progress and re-arm.
+		// Rate dropped since scheduling; progress and re-arm.
 		s.scheduleFinish(f)
 		return
 	}
-	u, d := f.u, f.d
+	u, d, ci, piece := f.u, f.d, f.cn, int(f.piece)
 	// Tear down the flow.
 	f.active = false
 	s.flushFlow(f)
 	s.applyRate(f, 0)
-	dir := f.cn.dirIndex(u)
-	f.cn.flow[dir] = nil
-	u.nUp--
-	d.nDown--
-	delete(d.pending, f.piece)
+	f.seq++ // stale events addressed to this slot can never match again
+	s.freeFlow(fi)
+	// f is dead past this point: the tryStart calls below may recycle
+	// the slot or grow the arena (moving its backing array).
+	cn := &s.conns[ci]
+	cn.flow[dirOf(cn, u)] = -1
+	s.nUp[u]--
+	s.nDown[d]--
+	s.clearPending(d, piece)
 	// The downloader gains the piece.
-	if !d.has[f.piece] {
-		s.gainPiece(d, f.piece)
-		if d.numHas == s.pieces && !d.done {
-			d.done = true
-			d.doneAt = s.now
+	if !s.hasPiece(d, piece) {
+		s.gainPiece(d, piece)
+		if int(s.numHas[d]) == s.pieces && !s.done[d] {
+			s.done[d] = true
+			s.doneAt[d] = s.now
 			s.incomplete--
 		}
 	}
 	s.ratesChanged(u, d)
 	// Continue on this connection and wake up d's other connections:
 	// the new piece may unblock transfers in both roles.
-	s.tryStart(u, d)
-	for _, cn := range d.conns {
-		p := cn.peer(d)
-		if cn.unchoked[cn.dirIndex(d)] {
-			s.tryStart(d, p)
+	s.tryStartCn(ci, u, d)
+	for _, ch := range s.connsOf[d] {
+		cn := &s.conns[ch]
+		p := peerOf(cn, d)
+		if cn.unchoked[dirOf(cn, d)] {
+			s.tryStartCn(ch, d, p)
 		}
-		if cn.unchoked[cn.dirIndex(p)] {
-			s.tryStart(p, d)
+		if cn.unchoked[dirOf(cn, p)] {
+			s.tryStartCn(ch, p, d)
 		}
 	}
 	// u's freed upload slot may serve another pending unchoked peer.
-	for _, cn := range u.conns {
-		p := cn.peer(u)
-		if cn.unchoked[cn.dirIndex(u)] {
-			s.tryStart(u, p)
+	for _, ch := range s.connsOf[u] {
+		cn := &s.conns[ch]
+		p := peerOf(cn, u)
+		if cn.unchoked[dirOf(cn, u)] {
+			s.tryStartCn(ch, u, p)
 		}
 	}
 }

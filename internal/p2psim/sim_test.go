@@ -399,15 +399,16 @@ func TestReselectionReplacesConnections(t *testing.T) {
 	}
 	// Availability bookkeeping survived connect/disconnect cycles.
 	for _, c := range s.Clients() {
+		id := int32(c.ID)
 		for p := 0; p < s.pieces; p++ {
-			want := 0
-			for _, cn := range c.conns {
-				if cn.peer(c).has[p] {
+			want := int32(0)
+			for _, ci := range s.connsOf[id] {
+				if s.hasPiece(peerOf(&s.conns[ci], id), p) {
 					want++
 				}
 			}
-			if c.avail[p] != want {
-				t.Fatalf("client %d avail[%d] = %d, want %d", c.ID, p, c.avail[p], want)
+			if got := s.availOf(id)[p]; got != want {
+				t.Fatalf("client %d avail[%d] = %d, want %d", c.ID, p, got, want)
 			}
 		}
 	}
@@ -419,15 +420,15 @@ func TestDisconnectPanicsWithActiveFlow(t *testing.T) {
 	s := New(Config{Graph: g, Routing: r, Selector: apptracker.Random{}, Seed: 4})
 	a := s.AddClient(ClientSpec{PID: 0, ASN: 1, UpBps: 1e6, DownBps: 1e6})
 	b := s.AddClient(ClientSpec{PID: 1, ASN: 1, UpBps: 1e6, DownBps: 1e6})
-	s.connect(a, b)
-	cn := a.connOf[b.ID]
-	cn.flow[0] = &flow{} // simulate an in-flight transfer
+	s.connect(int32(a.ID), int32(b.ID))
+	ci := s.connOf[a.ID][int32(b.ID)]
+	s.conns[ci].flow[0] = 0 // simulate an in-flight transfer
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic when disconnecting an active connection")
 		}
 	}()
-	s.disconnect(cn)
+	s.disconnect(ci)
 }
 
 func TestTCPWindowCapsLongPaths(t *testing.T) {
@@ -536,11 +537,11 @@ func TestMeasureRatesBufferReused(t *testing.T) {
 
 // recountNovel recomputes a connection's interest counter for the
 // direction u -> peer(u) from first principles.
-func recountNovel(s *Sim, cn *conn, u *Client) int {
-	d := cn.peer(u)
-	n := 0
+func recountNovel(s *Sim, cn *connS, u int32) int32 {
+	d := peerOf(cn, u)
+	n := int32(0)
 	for p := 0; p < s.pieces; p++ {
-		if u.has[p] && !d.has[p] {
+		if s.hasPiece(u, p) && !s.hasPiece(d, p) {
 			n++
 		}
 	}
@@ -557,16 +558,18 @@ func TestNovelCountersMatchRecount(t *testing.T) {
 	s.Run()
 	checked, nonzero := 0, 0
 	for _, c := range s.Clients() {
-		for _, cn := range c.conns {
-			if cn.a != c {
+		id := int32(c.ID)
+		for _, ci := range s.connsOf[id] {
+			cn := &s.conns[ci]
+			if cn.a != id {
 				continue // visit each conn once, from its a side
 			}
-			for _, u := range []*Client{cn.a, cn.b} {
+			for _, u := range [2]int32{cn.a, cn.b} {
 				want := recountNovel(s, cn, u)
-				got := cn.novel[cn.dirIndex(u)]
+				got := cn.novel[dirOf(cn, u)]
 				if got != want {
 					t.Fatalf("conn %d<->%d novel[%d->%d] = %d, want %d",
-						cn.a.ID, cn.b.ID, u.ID, cn.peer(u).ID, got, want)
+						cn.a, cn.b, u, peerOf(cn, u), got, want)
 				}
 				checked++
 				if want > 0 {

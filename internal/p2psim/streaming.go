@@ -62,42 +62,44 @@ func (sc *StreamingConfig) windowPieces(cfg *Config) int {
 func (sc *StreamingConfig) schedule(s *Sim) {
 	for _, c := range s.clients {
 		if c.Spec.IsSeed {
-			s.push(event{t: c.Spec.JoinAt, kind: evStreamPiece, client: c})
+			s.push(event{t: c.Spec.JoinAt, kind: evStreamPiece, id: int32(c.ID)})
 		}
 	}
 }
 
 // handleStreamPiece publishes the next piece at a source and pokes its
 // unchoked connections so the fresh data starts flowing.
-func (s *Sim) handleStreamPiece(src *Client) {
+func (s *Sim) handleStreamPiece(src int32) {
 	sc := s.cfg.Streaming
 	if sc.head >= s.pieces {
 		return // content fully published
 	}
 	p := sc.head
 	sc.head++
-	if !src.has[p] {
+	if !s.hasPiece(src, p) {
 		s.gainPiece(src, p)
 	}
-	for _, cn := range src.conns {
-		if cn.unchoked[cn.dirIndex(src)] {
-			s.tryStart(src, cn.peer(src))
+	for _, ci := range s.connsOf[src] {
+		cn := &s.conns[ci]
+		if cn.unchoked[dirOf(cn, src)] {
+			s.tryStartCn(ci, src, peerOf(cn, src))
 		}
 	}
-	s.push(event{t: s.now + sc.pieceInterval(&s.cfg), kind: evStreamPiece, client: src})
+	s.push(event{t: s.now + sc.pieceInterval(&s.cfg), kind: evStreamPiece, id: src})
 }
 
 // pickStreamPiece selects the earliest missing piece within the sliding
 // window [head-window, head): streaming favours in-order delivery over
 // rarest-first.
-func (s *Sim) pickStreamPiece(u, d *Client) int {
+func (s *Sim) pickStreamPiece(u, d int32) int {
 	sc := s.cfg.Streaming
 	lo := sc.head - sc.windowPieces(&s.cfg)
 	if lo < 0 {
 		lo = 0
 	}
 	for p := lo; p < sc.head; p++ {
-		if u.has[p] && !d.has[p] && !d.pending[p] {
+		if s.hasPiece(u, p) && !s.hasPiece(d, p) &&
+			s.pendBits[int(d)*s.hasW+(p>>6)]&(1<<uint(p&63)) == 0 {
 			return p
 		}
 	}

@@ -9,6 +9,12 @@
 # (BENCH_load.json; indented objects, qps + p99_us — positive QPS
 # deltas are improvements).
 #
+# Simulator regression gate: any BenchmarkSim* whose new ns/op exceeds
+# the old by more than 10% is flagged and the script exits non-zero, so
+# CI (or a pre-commit diff against the checked-in baseline) fails loud
+# on hot-path regressions. Other benchmarks are reported but not gated:
+# the experiment macro-benchmarks are one-shot runs with real variance.
+#
 # Usage: bench_diff.sh OLD.json NEW.json
 #   e.g. git show HEAD~1:BENCH_sim.json >/tmp/old.json &&
 #        scripts/bench_diff.sh /tmp/old.json BENCH_sim.json
@@ -75,6 +81,12 @@ END {
         }
         printf "%-40s %15s %15s %9s %9s %9s\n", name, ons[name], nns[name], \
             pct(ons[name], nns[name]), pct(ob[name], nb[name]), pct(oa[name], na[name])
+        if (name ~ /^BenchmarkSim/ && ons[name] + 0 > 0 && \
+            nns[name] + 0 > ons[name] * 1.10) {
+            printf "REGRESSION: %s ns/op %s -> %s (%s > +10%% gate)\n", \
+                name, ons[name], nns[name], pct(ons[name], nns[name]) > "/dev/stderr"
+            bad = 1
+        }
     }
     header = 0
     for (i = 0; i < n; i++) {
@@ -96,4 +108,5 @@ END {
         printf "%-40s %12s %12s %9s %12s %12s %9s\n", name, oq[name], nq[name], \
             pct(oq[name], nq[name]), op[name], np[name], pct(op[name], np[name])
     }
+    exit bad
 }' "$1" "$2"

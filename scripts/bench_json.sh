@@ -67,11 +67,13 @@ BEGIN { n = 0 }
     # Token-scan for the unit suffixes: experiment benchmarks append
     # ReportMetric extras, so fixed field positions would misparse.
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; b = 0; a = 0
+    ns = ""; b = 0; a = 0; ex = ""
     for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")          ns = $i
-        else if ($(i+1) == "B/op")      b  = $i
-        else if ($(i+1) == "allocs/op") a  = $i
+        u = $(i+1)
+        if (u == "ns/op")          ns = $i
+        else if (u == "B/op")      b  = $i
+        else if (u == "allocs/op") a  = $i
+        else if (u ~ /^pool-/)     ex = ex sprintf(", \"%s\": %s", u, $i)
     }
     if (ns == "") next
     bench[n]  = name
@@ -79,6 +81,7 @@ BEGIN { n = 0 }
     nsop[n]   = ns
     bop[n]    = b
     allocs[n] = a
+    extras[n] = ex
     n++
 }
 END {
@@ -88,8 +91,8 @@ END {
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            bench[i], iters[i], nsop[i], bop[i], allocs[i], (i < n-1 ? "," : "")
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}%s\n", \
+            bench[i], iters[i], nsop[i], bop[i], allocs[i], extras[i], (i < n-1 ? "," : "")
     }
     printf "  ]\n"
     printf "}\n"
