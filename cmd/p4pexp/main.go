@@ -54,9 +54,15 @@ var all = []experiment{
 }
 
 func main() {
+	// All work happens in run so deferred profile flushes execute before
+	// the process exits; os.Exit here would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
-		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		runIDs   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		scale    = flag.Float64("scale", 1.0, "workload scale in (0, 1]")
 		seed     = flag.Int64("seed", 42, "random seed")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
@@ -70,12 +76,12 @@ func main() {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -98,12 +104,12 @@ func main() {
 		for _, e := range all {
 			fmt.Printf("%-5s %s\n", e.id, e.desc)
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
-	runAll := *run == "all"
-	for _, id := range strings.Split(*run, ",") {
+	runAll := *runIDs == "all"
+	for _, id := range strings.Split(*runIDs, ",") {
 		want[strings.TrimSpace(strings.ToUpper(id))] = true
 	}
 	ran := 0
@@ -119,20 +125,21 @@ func main() {
 		rep := e.fn(opt)
 		if _, err := rep.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *pool {
 			fmt.Fprintf(os.Stderr, "%-5s ", e.id)
 			if _, err := opt.PoolStats.WriteTo(os.Stderr); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Printf("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched %q; use -list\n", *run)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "no experiments matched %q; use -list\n", *runIDs)
+		return 2
 	}
+	return 0
 }

@@ -22,6 +22,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so deferred profile flushes execute before
+	// the process exits; os.Exit here would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		topoName = flag.String("topology", "abilene", "abilene, abilene-virtual, isp-a, isp-b, isp-c")
 		policy   = flag.String("policy", "p4p", "native, localized, or p4p")
@@ -42,12 +48,12 @@ func main() {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -69,7 +75,7 @@ func main() {
 	g, err := topologyByName(*topoName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	r := topology.ComputeRouting(g)
 
@@ -98,7 +104,7 @@ func main() {
 		cfg.OnMeasure = func(now float64, rates []float64) { tr.ObserveAndUpdate(rates) }
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(2)
+		return 2
 	}
 
 	sim := p2psim.New(cfg)
@@ -133,6 +139,7 @@ func main() {
 	fmt.Printf("peak utilization  %.2f%%\n", res.PeakUtilization()*100)
 	fmt.Printf("unit BDP          %.2f backbone links/byte\n", res.UnitBDP)
 	fmt.Printf("intra-PID share   %.1f%%\n", 100*res.IntraPIDBytes()/res.TotalBytes)
+	return 0
 }
 
 func topologyByName(name string) (*topology.Graph, error) {

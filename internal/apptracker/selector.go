@@ -45,9 +45,16 @@ func (Random) Name() string { return "native" }
 // Select implements Selector. It draws distinct candidates with Floyd's
 // sampling algorithm — O(m) work and memory regardless of the candidate
 // count, where the previous full-permutation draw was O(n) per call and
-// dominated join handling in large-swarm simulations. One extra round
-// covers a drawn self entry; node IDs are unique, so self is drawn at
-// most once.
+// dominated join handling in large-swarm simulations.
+//
+// The simulator call sites pre-exclude self from candidates, so the
+// m-round draw below is plain Floyd there. Self can still appear at the
+// HTTP appTracker and example call sites; node IDs are unique, so it is
+// drawn at most once, and the slot it consumed is refilled with one
+// uniform draw over the untouched indices. Drawing m+1 distinct uniform
+// elements and discarding self leaves a uniform m-subset of the
+// remaining n-1 candidates, so no index is over- or under-sampled
+// either way.
 func (Random) Select(self Node, candidates []Node, m int, rng *rand.Rand) []int {
 	n := len(candidates)
 	if m > n {
@@ -56,22 +63,43 @@ func (Random) Select(self Node, candidates []Node, m int, rng *rand.Rand) []int 
 	if m <= 0 {
 		return nil
 	}
-	rounds := m + 1
-	if rounds > n {
-		rounds = n
-	}
-	chosen := make(map[int]struct{}, rounds)
+	chosen := make(map[int]struct{}, m+1)
 	out := make([]int, 0, m)
-	for j := n - rounds; j < n && len(out) < m; j++ {
+	selfDrawn := false
+	for j := n - m; j < n; j++ {
 		t := rng.Intn(j + 1)
 		if _, dup := chosen[t]; dup {
 			t = j
 		}
 		chosen[t] = struct{}{}
 		if candidates[t].ID == self.ID {
+			selfDrawn = true
 			continue
 		}
 		out = append(out, t)
+	}
+	if !selfDrawn || m == n {
+		// m == n with self drawn: every candidate is already in the
+		// draw, so the documented fewer-than-m case applies.
+		return out
+	}
+	// Refill the slot self consumed: one uniform draw over the n-m
+	// untouched indices. Rejection sampling needs n/(n-m) expected
+	// attempts; the linear-scan fallback keeps the loop bounded even if
+	// the rng is pathologically unlucky (at most ~(m/n)^64 probability,
+	// and exact whenever a single free index remains).
+	for attempts := 0; attempts < 64; attempts++ {
+		t := rng.Intn(n)
+		if _, dup := chosen[t]; !dup {
+			return append(out, t)
+		}
+	}
+	start := rng.Intn(n)
+	for k := 0; k < n; k++ {
+		t := (start + k) % n
+		if _, dup := chosen[t]; !dup {
+			return append(out, t)
+		}
 	}
 	return out
 }

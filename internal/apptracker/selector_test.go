@@ -99,6 +99,70 @@ func TestRandomSelector(t *testing.T) {
 	}
 }
 
+// TestRandomSelectorUniform pins the per-index selection distribution:
+// an earlier Floyd's-sampling variant ran m+1 rounds with an early stop,
+// which made the last candidate index unreachable whenever self was
+// absent from the candidate list (the case at both simulator call
+// sites). Every index must land near the uniform expectation, with and
+// without self among the candidates.
+func TestRandomSelectorUniform(t *testing.T) {
+	const (
+		n      = 40
+		m      = 5
+		trials = 20000
+	)
+	for _, tc := range []struct {
+		name    string
+		selfIdx int // -1: self not among candidates
+	}{
+		{"selfAbsent", -1},
+		{"selfMid", n / 2},
+		{"selfLast", n - 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			self := Node{ID: 0}
+			cands := make([]Node, n)
+			for i := range cands {
+				cands[i] = Node{ID: i + 1}
+			}
+			if tc.selfIdx >= 0 {
+				cands[tc.selfIdx] = self
+			}
+			rng := rand.New(rand.NewSource(11))
+			counts := make([]int, n)
+			for trial := 0; trial < trials; trial++ {
+				sel := Random{}.Select(self, cands, m, rng)
+				if len(sel) != m {
+					t.Fatalf("selected %d, want %d", len(sel), m)
+				}
+				checkNoSelfNoDup(t, self, cands, sel)
+				for _, i := range sel {
+					counts[i]++
+				}
+			}
+			eligible := n
+			if tc.selfIdx >= 0 {
+				eligible--
+			}
+			expected := float64(trials) * float64(m) / float64(eligible)
+			for i, c := range counts {
+				if i == tc.selfIdx {
+					if c != 0 {
+						t.Fatalf("self at index %d selected %d times", i, c)
+					}
+					continue
+				}
+				// ±20% of expectation is ~10 sigma at these sizes: loose
+				// enough to never flake, tight enough that a systematically
+				// unreachable or doubled index fails loudly.
+				if float64(c) < 0.8*expected || float64(c) > 1.2*expected {
+					t.Errorf("index %d selected %d times, want %.0f ±20%%", i, c, expected)
+				}
+			}
+		})
+	}
+}
+
 func TestRandomSelectorExhaustsCandidates(t *testing.T) {
 	self := Node{ID: 0}
 	cands := []Node{{ID: 1}, {ID: 2}}
