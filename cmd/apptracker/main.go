@@ -1,14 +1,25 @@
 // Command apptracker runs a P4P-integrated application tracker: it
-// discovers an iTracker portal, keeps the p-distance view fresh, and
-// answers peer-selection requests over HTTP using the three-stage
-// selection of Section 6.2.
+// discovers one or more iTracker portals, keeps their p-distance views
+// fresh, and answers peer-selection requests over HTTP using the
+// three-stage selection of Section 6.2.
 //
 //	POST /select  {"self": {...}, "candidates": [...], "m": 20}
 //
 // returns the chosen candidate indices. GET /stats reports the view
 // cache counters (refreshes, failures, stale serves), which flag when
-// selection is running on a last-known-good view because the portal is
+// selection is running on a last-known-good view because a portal is
 // unreachable.
+//
+// -itracker takes a comma-separated list of portal URLs. With several,
+// the tracker consumes every portal concurrently and peer-matches from
+// the merged federation view (apptracker.MultiPortalViews): each
+// portal keeps its own freshness and last-known-good state, /stats
+// reports the counters per portal, and repeatable -circuit flags
+// declare the interdomain adjacencies that price cross-provider pairs,
+// e.g.
+//
+//	apptracker -itracker http://east:8080,http://west:8080 \
+//	    -circuit "http://east:8080:4,http://west:8080:7,2.5"
 //
 // Observability: GET /metrics serves the Prometheus exposition
 // (request counts/latency per route, portal-client retries and
@@ -27,16 +38,19 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"p4p/internal/apptracker"
+	"p4p/internal/federation"
 	"p4p/internal/health"
 	"p4p/internal/portal"
 	"p4p/internal/telemetry"
@@ -75,10 +89,17 @@ func writeJSON(logger *slog.Logger, w http.ResponseWriter, r *http.Request, stat
 	w.Write(append(body, '\n'))
 }
 
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
+
 func main() {
+	var circuitFlags listFlag
 	var (
 		listen   = flag.String("listen", ":8081", "HTTP listen address")
-		itrURL   = flag.String("itracker", "http://localhost:8080", "iTracker portal base URL")
+		itrURL   = flag.String("itracker", "http://localhost:8080", "iTracker portal base URL(s), comma-separated")
 		token    = flag.String("token", "", "trust token for the portal")
 		ttl      = flag.Duration("view-ttl", 30*time.Second, "p-distance view cache TTL")
 		seed     = flag.Int64("seed", time.Now().UnixNano(), "selection RNG seed")
@@ -93,6 +114,8 @@ func main() {
 		traceKeep   = flag.Float64("trace-keep", 0.1, "tail keep rate for fast clean traces in [0,1]")
 		traceCap    = flag.Int("trace-cap", 256, "kept-trace ring capacity")
 	)
+	flag.Var(&circuitFlags, "circuit",
+		"interdomain circuit as urlA:pidA,urlB:pidB,cost (repeatable; multi-portal mode only)")
 	flag.Parse()
 
 	logger := newLogger(*logJSON)
@@ -101,25 +124,77 @@ func main() {
 	// the request middleware, and GET /metrics.
 	reg := telemetry.NewRegistry()
 
-	client := portal.NewClient(*itrURL, *token)
-	client.Retry.MaxAttempts = *retries
-	client.Metrics = portal.NewClientMetrics(reg)
-	views := apptracker.NewPortalViews(client, *ttl)
-	views.Logger = logger
-	views.Metrics = apptracker.NewViewMetrics(reg)
-	sel := &apptracker.P4P{Views: views}
-	rng := rand.New(rand.NewSource(*seed))
-	var rngMu sync.Mutex
-
 	var collector *trace.Collector
 	var tracer *trace.Tracer
 	if *tracesOn {
 		collector = trace.NewCollector(*traceCap, *traceSlow, *traceKeep)
 		tracer = &trace.Tracer{Collector: collector, SampleRate: *traceSample}
-		// Background refreshes are off any request path, so they start
-		// their own root spans via the views tracer.
-		views.Tracer = tracer
 	}
+
+	urls := strings.Split(*itrURL, ",")
+	client := portal.NewClient(urls[0], *token)
+	client.Retry.MaxAttempts = *retries
+	client.Metrics = portal.NewClientMetrics(reg)
+	vm := apptracker.NewViewMetrics(reg)
+
+	// provider answers selections; statsFn and readyFn back /stats and
+	// /readyz in whichever shape the deployment runs.
+	var provider apptracker.ViewProvider
+	var statsFn func() interface{}
+	var readyFn func(maxAge time.Duration) (bool, string)
+
+	if len(urls) > 1 {
+		refs := make([]apptracker.PortalRef, len(urls))
+		for i, u := range urls {
+			refs[i] = apptracker.PortalRef{URL: u}
+		}
+		mpv := apptracker.NewMultiPortalViews(client, refs, *ttl)
+		mpv.Logger = logger
+		mpv.SetMetrics(vm)
+		for i := range refs {
+			mpv.Portal(i).Logger = logger
+			// Background refreshes are off any request path, so they
+			// start their own root spans via the views tracer.
+			mpv.Portal(i).Tracer = tracer
+		}
+		var circuits []federation.Circuit
+		for _, s := range circuitFlags {
+			c, err := federation.ParseCircuit(s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			circuits = append(circuits, c)
+		}
+		mpv.SetCircuits(circuits)
+		provider = mpv
+		statsFn = func() interface{} { return mpv.Stats() }
+		readyFn = func(maxAge time.Duration) (bool, string) {
+			serving, total := mpv.Ready(maxAge)
+			detail := fmt.Sprintf("%d/%d portal views fresh", serving, total)
+			return serving > 0, detail
+		}
+	} else {
+		if len(circuitFlags) > 0 {
+			fmt.Fprintln(os.Stderr, "-circuit requires more than one -itracker URL")
+			os.Exit(2)
+		}
+		views := apptracker.NewPortalViews(client, *ttl)
+		views.Logger = logger
+		views.Metrics = vm
+		views.Tracer = tracer
+		provider = views
+		statsFn = func() interface{} { return views.Stats() }
+		readyFn = func(maxAge time.Duration) (bool, string) {
+			if views.Ready(maxAge) {
+				return true, "portal view fresh"
+			}
+			return false, "no fresh portal view (portal unreachable or not yet fetched)"
+		}
+	}
+	sel := &apptracker.P4P{Views: provider}
+	rng := rand.New(rand.NewSource(*seed))
+	var rngMu sync.Mutex
 
 	mw := &telemetry.Middleware{
 		Metrics: telemetry.NewHTTPMetrics(reg, "p4p_http"),
@@ -146,22 +221,19 @@ func main() {
 		writeJSON(logger, w, r, http.StatusOK, selectResponse{Indices: idx, Policy: sel.Name()})
 	}))
 	mux.Handle("GET /stats", mw.RouteFunc("stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(logger, w, r, http.StatusOK, views.Stats())
+		writeJSON(logger, w, r, http.StatusOK, statsFn())
 	}))
 	rm := telemetry.NewRuntimeMetrics(reg)
 	mux.Handle("GET /metrics", rm.Handler(reg.Handler()))
 	mux.Handle("GET /healthz", health.Handler())
 	// Ready while a portal view exists and was fetched within 3x the TTL
 	// — the same window in which stale-fallback serves are acceptable.
+	// In multi-portal mode one fresh portal suffices (degraded-but-
+	// serving, with the split in the detail string).
 	readyAge := 3 * *ttl
 	mux.Handle("GET /readyz", health.ReadyHandler(health.Check{
-		Name: "portal_view",
-		Probe: func() (bool, string) {
-			if views.Ready(readyAge) {
-				return true, "portal view fresh"
-			}
-			return false, "no fresh portal view (portal unreachable or not yet fetched)"
-		},
+		Name:  "portal_view",
+		Probe: func() (bool, string) { return readyFn(readyAge) },
 	}))
 	if collector != nil {
 		mux.Handle("GET /debug/traces", collector.Handler())
@@ -174,7 +246,7 @@ func main() {
 	// Warm the view in the background so /readyz flips as soon as the
 	// portal answers, without blocking startup when it is down.
 	//p4pvet:ignore goroleak one-shot warmup; ViewFor returns once the portal client's per-attempt timeouts and bounded retries run out
-	go views.ViewFor(0)
+	go provider.ViewFor(0)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

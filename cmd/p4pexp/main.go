@@ -51,6 +51,7 @@ var all = []experiment{
 	{"A1", "Ablation: efficiency factor beta", experiments.AblationBeta},
 	{"A2", "Ablation: concave robustness transform", experiments.AblationConcave},
 	{"A3", "Ablation: PID aggregation granularity", experiments.AblationAggregation},
+	{"FED", "Multi-iTracker federation: two providers, live portals", experiments.FederationPair},
 }
 
 func main() {

@@ -7,10 +7,14 @@
 //
 // Scenarios:
 //
-//	distances   GET /p4p/v1/distances (200 + full matrix, cached bytes)
-//	revalidate  GET with If-None-Match (304, no body)
-//	batch       POST /p4p/v1/distances/batch with -batch pairs
-//	all         each of the above in sequence
+//	distances      GET /p4p/v1/distances (200 + full matrix, cached bytes)
+//	revalidate     GET with If-None-Match (304, no body)
+//	batch          POST /p4p/v1/distances/batch with -batch pairs
+//	federation     the same three shapes against an in-process
+//	               federation router proxying two ServePIDs-sharded
+//	               backend portals (fed-distances, fed-revalidate,
+//	               fed-batch) — the internal/federation merge+serve path
+//	all            each of the above in sequence
 //
 // With no -url, an in-process portal is served on 127.0.0.1:0 over the
 // -topology graph, so the tool is self-contained for CI smoke runs:
@@ -40,6 +44,7 @@ import (
 	"time"
 
 	"p4p/internal/core"
+	"p4p/internal/federation"
 	"p4p/internal/itracker"
 	"p4p/internal/portal"
 	"p4p/internal/topology"
@@ -73,7 +78,7 @@ func main() {
 		workers  = flag.Int("c", 8, "concurrent closed-loop workers")
 		duration = flag.Duration("duration", 5*time.Second, "measured run length per scenario")
 		warmup   = flag.Duration("warmup", time.Second, "warmup length per scenario (discarded)")
-		scenario = flag.String("scenario", "all", "scenario: distances, revalidate, batch, or all")
+		scenario = flag.String("scenario", "all", "scenario: distances, revalidate, batch, federation, or all")
 		batchN   = flag.Int("batch", 16, "pairs per batch request")
 		update   = flag.Duration("update", 0, "if set, run a price update every interval during the run")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
@@ -180,24 +185,85 @@ func main() {
 		"revalidate": {method: http.MethodGet, path: "/p4p/v1/distances", etag: etag, want: http.StatusNotModified},
 		"batch":      {method: http.MethodPost, path: "/p4p/v1/distances/batch", body: batchBody, want: http.StatusOK},
 	}
+
+	// Federation scenarios run against their own in-process stack (a
+	// shard router over two backend portals); with an external -url
+	// there is nothing to stand that stack on, so they are skipped.
+	fedNames := []string{"fed-distances", "fed-revalidate", "fed-batch"}
+	if *url == "" {
+		fedTarget, fedCleanup, err := startFederation()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4pload: federation stack: %v\n", err)
+			os.Exit(1)
+		}
+		defer fedCleanup()
+		fc := portal.NewClient(fedTarget, *token)
+		fc.HTTPClient = hc
+		fedView, err := fc.DistancesContext(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4pload: priming federation fetch against %s: %v\n", fedTarget, err)
+			os.Exit(1)
+		}
+		fedETag, err := fetchETag(ctx, hc, fedTarget, *token)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4pload: %v\n", err)
+			os.Exit(1)
+		}
+		// Pair each PID with one half the universe away so the batch
+		// shots exercise cross-shard composed entries, not just the
+		// copy-through diagonal blocks.
+		fedPairs := make([]portal.PIDPair, *batchN)
+		for i := range fedPairs {
+			fedPairs[i] = portal.PIDPair{
+				Src: fedView.PIDs[i%len(fedView.PIDs)],
+				Dst: fedView.PIDs[(i+len(fedView.PIDs)/2)%len(fedView.PIDs)],
+			}
+		}
+		fedBatchBody, err := json.Marshal(struct {
+			Pairs []portal.PIDPair `json:"pairs"`
+		}{fedPairs})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4pload: %v\n", err)
+			os.Exit(1)
+		}
+		scenarios["fed-distances"] = shot{method: http.MethodGet, path: "/p4p/v1/distances", want: http.StatusOK, target: fedTarget}
+		scenarios["fed-revalidate"] = shot{method: http.MethodGet, path: "/p4p/v1/distances", etag: fedETag, want: http.StatusNotModified, target: fedTarget}
+		scenarios["fed-batch"] = shot{method: http.MethodPost, path: "/p4p/v1/distances/batch", body: fedBatchBody, want: http.StatusOK, target: fedTarget}
+	}
+
 	var names []string
-	if *scenario == "all" {
+	switch {
+	case *scenario == "all":
 		names = []string{"distances", "revalidate", "batch"}
-	} else if _, ok := scenarios[*scenario]; ok {
+		if _, ok := scenarios["fed-distances"]; ok {
+			names = append(names, fedNames...)
+		}
+	case *scenario == "federation":
+		if _, ok := scenarios["fed-distances"]; !ok {
+			fmt.Fprintln(os.Stderr, "p4pload: -scenario federation needs the in-process stack (drop -url)")
+			os.Exit(2)
+		}
+		names = fedNames
+	default:
+		if _, ok := scenarios[*scenario]; !ok {
+			fmt.Fprintf(os.Stderr, "p4pload: unknown scenario %q (want distances, revalidate, batch, federation, all)\n", *scenario)
+			os.Exit(2)
+		}
 		names = []string{*scenario}
-	} else {
-		fmt.Fprintf(os.Stderr, "p4pload: unknown scenario %q (want distances, revalidate, batch, all)\n", *scenario)
-		os.Exit(2)
 	}
 
 	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(), Target: target}
 	failed := false
 	for _, name := range names {
 		s := scenarios[name]
-		if *warmup > 0 {
-			run(ctx, hc, target, *token, s, *workers, *warmup)
+		tgt := target
+		if s.target != "" {
+			tgt = s.target
 		}
-		res := run(ctx, hc, target, *token, s, *workers, *duration)
+		if *warmup > 0 {
+			run(ctx, hc, tgt, *token, s, *workers, *warmup)
+		}
+		res := run(ctx, hc, tgt, *token, s, *workers, *duration)
 		res.Name = name
 		rep.Results = append(rep.Results, res)
 		if res.Errors > 0 {
@@ -275,6 +341,80 @@ type shot struct {
 	etag   string
 	body   []byte
 	want   int
+	target string // overrides the default target (federation scenarios)
+}
+
+// startFederation stands up the federation stack on loopback: one
+// shared engine over the two-virtual-ISP Abilene split, one
+// ServePIDs-restricted backend portal per ASN, and a federation.Router
+// proxying both with the interdomain cuts as circuits. Returns the
+// router's base URL.
+func startFederation() (target string, cleanup func(), err error) {
+	g := topology.AbileneVirtualISPs()
+	r := topology.ComputeRouting(g)
+	eng := core.NewEngine(g, r, core.Config{})
+
+	pidsByASN := map[int][]topology.PID{}
+	for _, p := range g.AggregationPIDs() {
+		pidsByASN[g.Node(p).ASN] = append(pidsByASN[g.Node(p).ASN], p)
+	}
+	asns := make([]int, 0, len(pidsByASN))
+	for asn := range pidsByASN {
+		asns = append(asns, asn)
+	}
+	sort.Ints(asns)
+
+	var closers []func()
+	cleanup = func() {
+		for _, f := range closers {
+			f()
+		}
+	}
+	serve := func(h http.Handler) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+		//p4pvet:ignore goroleak Serve returns when cleanup closes the server at end of run
+		go srv.Serve(ln)
+		closers = append(closers, func() { srv.Close() })
+		return "http://" + ln.Addr().String(), nil
+	}
+
+	var shards []federation.ShardConfig
+	nameOf := map[int]string{}
+	for _, asn := range asns {
+		name := fmt.Sprintf("isp%d", asn)
+		nameOf[asn] = name
+		tr := itracker.New(itracker.Config{Name: name, ASN: asn, ServePIDs: pidsByASN[asn]}, eng, nil)
+		base, err := serve(portal.NewHandler(tr))
+		if err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		shards = append(shards, federation.ShardConfig{Name: name, BaseURL: base})
+	}
+	var circuits []federation.Circuit
+	for _, cut := range topology.InterdomainCuts(g) {
+		l := g.Link(cut[0])
+		circuits = append(circuits, federation.Circuit{
+			A: nameOf[g.Node(l.Src).ASN], APID: l.Src,
+			B: nameOf[g.Node(l.Dst).ASN], BPID: l.Dst,
+			Cost: eng.Price(l.ID),
+		})
+	}
+	rt, err := federation.NewRouter(federation.Config{Shards: shards, Circuits: circuits})
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	target, err = serve(rt)
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	return target, cleanup, nil
 }
 
 // run drives workers closed-loop copies of s for d and merges their

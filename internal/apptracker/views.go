@@ -49,30 +49,71 @@ type ViewStats struct {
 }
 
 // ViewMetrics mirrors ViewStats into the telemetry registry so the view
-// cache's behavior is scrapeable at /metrics. All methods on the
-// counters are nil-safe via the nil-receiver guards below.
+// cache's behavior is scrapeable at /metrics. Every family carries a
+// "portal" label: a single-portal appTracker records under portal="",
+// while a multi-portal one binds one ViewMetrics per backend via
+// ForPortal, so a stale ISP is attributable from /metrics alone instead
+// of vanishing into an aggregate. All methods on the counters are
+// nil-safe via the nil-receiver guards below.
 type ViewMetrics struct {
 	Refreshes   *telemetry.Counter
 	Failures    *telemetry.Counter
 	StaleServes *telemetry.Counter
 	NilServes   *telemetry.Counter
 	Coalesces   *telemetry.Counter
+
+	vecs *viewMetricVecs
 }
 
-// NewViewMetrics registers the view-cache metric families.
-func NewViewMetrics(r *telemetry.Registry) *ViewMetrics {
+// viewMetricVecs holds the labeled families ViewMetrics instances bind
+// children from.
+type viewMetricVecs struct {
+	refreshes   *telemetry.CounterVec
+	failures    *telemetry.CounterVec
+	staleServes *telemetry.CounterVec
+	nilServes   *telemetry.CounterVec
+	coalesces   *telemetry.CounterVec
+}
+
+func (v *viewMetricVecs) bind(portalURL string) *ViewMetrics {
 	return &ViewMetrics{
-		Refreshes: r.Counter("p4p_apptracker_view_refreshes_total",
-			"Successful portal view fetches (including 304 revalidations)."),
-		Failures: r.Counter("p4p_apptracker_view_refresh_failures_total",
-			"View refreshes that exhausted the portal client's retries."),
-		StaleServes: r.Counter("p4p_apptracker_stale_serves_total",
-			"Selections served from the last-known-good view past its TTL."),
-		NilServes: r.Counter("p4p_apptracker_nil_serves_total",
-			"Selections with no view at all (degraded to native peering)."),
-		Coalesces: r.Counter("p4p_apptracker_view_coalesced_reads_total",
-			"Selections answered from the previous view during an in-flight refresh."),
+		Refreshes:   v.refreshes.With(portalURL),
+		Failures:    v.failures.With(portalURL),
+		StaleServes: v.staleServes.With(portalURL),
+		NilServes:   v.nilServes.With(portalURL),
+		Coalesces:   v.coalesces.With(portalURL),
+		vecs:        v,
 	}
+}
+
+// NewViewMetrics registers the view-cache metric families and returns
+// the instance bound to the default portal label (""). Multi-portal
+// consumers derive per-backend instances with ForPortal.
+func NewViewMetrics(r *telemetry.Registry) *ViewMetrics {
+	vecs := &viewMetricVecs{
+		refreshes: r.CounterVec("p4p_apptracker_view_refreshes_total",
+			"Successful portal view fetches (including 304 revalidations).", "portal"),
+		failures: r.CounterVec("p4p_apptracker_view_refresh_failures_total",
+			"View refreshes that exhausted the portal client's retries.", "portal"),
+		staleServes: r.CounterVec("p4p_apptracker_stale_serves_total",
+			"Selections served from the last-known-good view past its TTL.", "portal"),
+		nilServes: r.CounterVec("p4p_apptracker_nil_serves_total",
+			"Selections with no view at all (degraded to native peering).", "portal"),
+		coalesces: r.CounterVec("p4p_apptracker_view_coalesced_reads_total",
+			"Selections answered from the previous view during an in-flight refresh.", "portal"),
+	}
+	return vecs.bind("")
+}
+
+// ForPortal returns a ViewMetrics recording into the same registered
+// families, with the portal label set to portalURL. Nil-safe: a nil
+// receiver (uninstrumented tracker) returns nil, which every recording
+// method tolerates.
+func (m *ViewMetrics) ForPortal(portalURL string) *ViewMetrics {
+	if m == nil || m.vecs == nil {
+		return nil
+	}
+	return m.vecs.bind(portalURL)
 }
 
 func (m *ViewMetrics) refresh() {
@@ -345,6 +386,18 @@ func (p *PortalViews) Stats() ViewStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// Invalidate expires the held view and any failure backoff, so the next
+// ViewFor refreshes synchronously. The last-known-good view is kept: if
+// the refresh fails, degradation semantics are unchanged. Experiment
+// harnesses call it after a portal-side price update to observe the new
+// view deterministically instead of waiting out the TTL.
+func (p *PortalViews) Invalidate() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fetched = time.Time{}
+	p.nextRetry = time.Time{}
 }
 
 // LastKnownGood reports the currently held view (possibly stale) and

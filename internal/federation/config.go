@@ -1,0 +1,49 @@
+package federation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"p4p/internal/topology"
+)
+
+// ParseCircuit parses the flag form of a circuit,
+//
+//	shardA:pidA,shardB:pidB,cost
+//
+// e.g. "east:3,west:7,2.5". The PID is everything after the endpoint's
+// last colon, so shard names may themselves contain colons (ports in a
+// URL-derived name); they may not contain commas.
+func ParseCircuit(s string) (Circuit, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return Circuit{}, fmt.Errorf("federation: circuit %q: want shardA:pidA,shardB:pidB,cost", s)
+	}
+	a, apid, err := parseEndpoint(parts[0])
+	if err != nil {
+		return Circuit{}, fmt.Errorf("federation: circuit %q: %v", s, err)
+	}
+	b, bpid, err := parseEndpoint(parts[1])
+	if err != nil {
+		return Circuit{}, fmt.Errorf("federation: circuit %q: %v", s, err)
+	}
+	cost, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || cost < 0 {
+		return Circuit{}, fmt.Errorf("federation: circuit %q: bad cost %q", s, parts[2])
+	}
+	return Circuit{A: a, APID: apid, B: b, BPID: bpid, Cost: cost}, nil
+}
+
+func parseEndpoint(s string) (shard string, pid topology.PID, err error) {
+	s = strings.TrimSpace(s)
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 {
+		return "", 0, fmt.Errorf("endpoint %q: want shard:pid", s)
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n < 0 {
+		return "", 0, fmt.Errorf("endpoint %q: bad PID %q", s, s[i+1:])
+	}
+	return s[:i], topology.PID(n), nil
+}

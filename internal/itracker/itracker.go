@@ -74,6 +74,14 @@ type Config struct {
 	TrustedTokens []string
 	Policy        Policy
 	Capabilities  []Capability
+	// ServePIDs, when non-empty, restricts the external view to this
+	// PID subset instead of every aggregation PID in the topology. A
+	// PID-sharded deployment runs several iTrackers over one shared
+	// engine, each speaking for its shard behind a federation front end
+	// (internal/federation); the slice is copied, sorted, and deduped at
+	// New so the served view's PID order stays canonical (ascending)
+	// regardless of configuration order.
+	ServePIDs []topology.PID
 }
 
 // Metrics instruments one iTracker: how long external-view recomputes
@@ -178,6 +186,17 @@ func New(cfg Config, engine *core.Engine, pidMap *PIDMap) *Server {
 	for _, tok := range cfg.TrustedTokens {
 		t.trusted[tok] = true
 	}
+	if len(cfg.ServePIDs) > 0 {
+		pids := append([]topology.PID(nil), cfg.ServePIDs...)
+		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+		uniq := pids[:1]
+		for _, p := range pids[1:] {
+			if p != uniq[len(uniq)-1] {
+				uniq = append(uniq, p)
+			}
+		}
+		t.cfg.ServePIDs = uniq
+	}
 	return t
 }
 
@@ -281,7 +300,10 @@ func (t *Server) materialize(ctx context.Context, done chan struct{}) (view *cor
 		close(done)
 	}()
 	start := time.Now()
-	pids := t.engine.Graph().AggregationPIDs()
+	pids := t.cfg.ServePIDs
+	if len(pids) == 0 {
+		pids = t.engine.Graph().AggregationPIDs()
+	}
 	if t.testHookPreMatrix != nil {
 		t.testHookPreMatrix()
 	}

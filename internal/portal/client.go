@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p4p/internal/core"
@@ -75,6 +76,41 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 type cachedView struct {
 	view *core.View
 	etag string
+}
+
+// viewCache holds cached views keyed by base URL and form. It is shared
+// by every Client derived via WithBase, so a federation front end
+// fanning one logical client out across N portals keeps one cache: the
+// key includes the full base URL precisely so portal A's ETag is never
+// presented to portal B (a spurious If-None-Match match across portals
+// would pair A's matrix with B's version).
+type viewCache struct {
+	mu    sync.Mutex
+	views map[string]*cachedView
+}
+
+// viewKey scopes a cache entry to one (portal, form) pair.
+func viewKey(baseURL, form string) string {
+	return baseURL + "\x00" + form
+}
+
+func (vc *viewCache) get(baseURL, form string) *cachedView {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.views[viewKey(baseURL, form)]
+}
+
+func (vc *viewCache) put(baseURL, form string, cv *cachedView) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.views == nil {
+		vc.views = map[string]*cachedView{}
+	}
+	if cv != nil {
+		vc.views[viewKey(baseURL, form)] = cv
+	} else {
+		delete(vc.views, viewKey(baseURL, form))
+	}
 }
 
 // ClientMetrics instruments a portal client. All methods are nil-safe,
@@ -150,8 +186,9 @@ type Client struct {
 	// hits, and exhausted requests (see NewClientMetrics).
 	Metrics *ClientMetrics
 
-	mu    sync.Mutex
-	views map[string]*cachedView // by form ("raw", "ranks")
+	// cache holds decoded views keyed by (base URL, form); lazily
+	// initialized, shared across WithBase-derived clients.
+	cache atomic.Pointer[viewCache]
 }
 
 // NewClient builds a portal client.
@@ -161,6 +198,49 @@ func NewClient(baseURL, token string) *Client {
 		Token:      token,
 		HTTPClient: &http.Client{Timeout: 10 * time.Second},
 	}
+}
+
+// viewCacheRef returns the client's view cache, initializing it on
+// first use. The CAS keeps exactly one cache live even when concurrent
+// first fetches race.
+func (c *Client) viewCacheRef() *viewCache {
+	if vc := c.cache.Load(); vc != nil {
+		return vc
+	}
+	vc := &viewCache{views: map[string]*cachedView{}}
+	if c.cache.CompareAndSwap(nil, vc) {
+		return vc
+	}
+	return c.cache.Load()
+}
+
+// WithBase returns a client identical to c but pointed at a different
+// portal root. The derived client shares c's HTTP client (connection
+// pool), metrics, retry policy, and ETag/view cache — the cache is
+// keyed by full URL, so entries never bleed between portals — which is
+// how a multi-portal consumer (apptracker.MultiPortalViews, the
+// federation router) fans one configured client out across N backends.
+func (c *Client) WithBase(baseURL string) *Client {
+	nc := &Client{
+		BaseURL:    baseURL,
+		Token:      c.Token,
+		HTTPClient: c.HTTPClient,
+		Retry:      c.Retry,
+		Metrics:    c.Metrics,
+	}
+	nc.cache.Store(c.viewCacheRef())
+	return nc
+}
+
+// ViewETag reports the ETag under which the client's cached view for a
+// form ("raw" or "ranks") last arrived, or "" when no view is cached.
+// The federation router composes these per-shard validators into its
+// federation ETag.
+func (c *Client) ViewETag(form string) string {
+	if cv := c.viewCacheRef().get(c.BaseURL, form); cv != nil {
+		return cv.etag
+	}
+	return ""
 }
 
 // errHTTP carries a non-2xx portal response through the retry loop.
@@ -331,9 +411,8 @@ func (c *Client) fetchView(ctx context.Context, form string) (*core.View, error)
 	if form != "raw" {
 		q.Set("form", form)
 	}
-	c.mu.Lock()
-	cached := c.views[form]
-	c.mu.Unlock()
+	vc := c.viewCacheRef()
+	cached := vc.get(c.BaseURL, form)
 	etag := ""
 	if cached != nil {
 		etag = cached.etag
@@ -362,16 +441,11 @@ func (c *Client) fetchView(ctx context.Context, form string) (*core.View, error)
 		// withdrawn the server's validator: keeping the old entry would
 		// revalidate future requests against a dead ETag, and a spurious
 		// match would pair the old matrix with a new version. Drop it.
-		c.mu.Lock()
-		if c.views == nil {
-			c.views = map[string]*cachedView{}
-		}
 		if respETag != "" {
-			c.views[form] = &cachedView{view: v, etag: respETag}
+			vc.put(c.BaseURL, form, &cachedView{view: v, etag: respETag})
 		} else {
-			delete(c.views, form)
+			vc.put(c.BaseURL, form, nil)
 		}
-		c.mu.Unlock()
 		return v, nil
 	default:
 		return nil, httpErrFromBody(path, status, body)

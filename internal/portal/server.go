@@ -213,11 +213,11 @@ func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	h.writeJSON(w, r, http.StatusOK, pol)
 }
 
-// etagMatches reports whether an If-None-Match header value matches the
+// ETagMatches reports whether an If-None-Match header value matches the
 // given ETag, honoring comma-separated lists, W/ weak prefixes, and the
 // "*" wildcard. It scans in place — no splitting — because it runs on
 // the revalidation fast path.
-func etagMatches(header, etag string) bool {
+func ETagMatches(header, etag string) bool {
 	for len(header) > 0 {
 		part := header
 		if i := strings.IndexByte(header, ','); i >= 0 {
@@ -327,7 +327,7 @@ func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
 	}
 	// Direct map assignment with pre-canonicalized keys ("Etag" is the
 	// canonical MIME form) and shared value slices: zero allocations.
-	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, ent.etag) {
+	if inm := r.Header.Get("If-None-Match"); inm != "" && ETagMatches(inm, ent.etag) {
 		w.Header()["Etag"] = ent.etagVals
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -340,9 +340,9 @@ func (h *Handler) handleDistances(w http.ResponseWriter, r *http.Request) {
 	w.Write(ent.body)
 }
 
-// parsePairsParam parses the GET form of a batch request:
+// ParsePairs parses the GET form of a batch request:
 // pairs=src-dst,src-dst with decimal PIDs.
-func parsePairsParam(s string) ([]PIDPair, error) {
+func ParsePairs(s string) ([]PIDPair, error) {
 	if s == "" {
 		return nil, errors.New("missing pairs parameter; use pairs=src-dst,src-dst")
 	}
@@ -408,7 +408,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		pairs = req.Pairs
 	} else {
 		var err error
-		pairs, err = parsePairsParam(r.URL.Query().Get("pairs"))
+		pairs, err = ParsePairs(r.URL.Query().Get("pairs"))
 		if err != nil {
 			h.writeJSON(w, r, http.StatusBadRequest, errorWire{Error: err.Error()})
 			return
